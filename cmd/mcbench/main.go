@@ -1,0 +1,243 @@
+// Command mcbench regenerates the paper's evaluation tables and figures
+// on the synthetic datasets:
+//
+//	mcbench -exp table3 -scale 0.25     # quick pass at quarter scale
+//	mcbench -exp all                    # the full Section 6 sweep
+//
+// Experiments: table1, table3, table4, hashdebug, learned, fig9,
+// ablate-config, ablate-long, ablate-joint, ablate-verifier, sensitivity,
+// all. -datasets filters table3 to a comma-separated dataset list.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"matchcatcher/internal/experiments"
+)
+
+// jsonOut switches reports from aligned text tables to indented JSON.
+var jsonOut bool
+
+// emit prints rows as JSON when -json is set, else the formatted table.
+func emit(rows interface{}, text string) error {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	fmt.Print(text)
+	return nil
+}
+
+func main() {
+	exp := flag.String("exp", "table3", "experiment to run")
+	scale := flag.Float64("scale", 1, "dataset scale factor")
+	k := flag.Int("k", 1000, "top-k per config")
+	seed := flag.Int64("seed", 1, "random seed")
+	datasets := flag.String("datasets", "", "comma-separated dataset filter (table3)")
+	flag.BoolVar(&jsonOut, "json", false, "emit JSON instead of text tables")
+	flag.Parse()
+
+	env := experiments.NewEnv(*scale)
+	opt := experiments.DebugOptions{K: *k, Seed: *seed}
+	start := time.Now()
+	if err := run(env, *exp, *datasets, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[%s done in %s at scale %g]\n", *exp, time.Since(start).Round(time.Millisecond), *scale)
+}
+
+func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOptions) error {
+	switch exp {
+	case "all":
+		for _, e := range []string{"table1", "table3", "table4", "hashdebug", "learned",
+			"fig9", "ablate-config", "ablate-long", "ablate-joint", "ablate-verifier", "sensitivity"} {
+			fmt.Printf("\n===== %s =====\n", e)
+			if err := run(env, e, datasets, opt); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+
+	case "table1":
+		rows, err := env.RunTable1([]string{"A-G", "W-A", "A-D", "F-Z", "M1", "M2", "Papers"})
+		if err != nil {
+			return err
+		}
+		return emit(rows, experiments.FormatTable1(rows))
+
+	case "table3":
+		specs := experiments.Table2Blockers()
+		if datasets != "" {
+			want := map[string]bool{}
+			for _, d := range strings.Split(datasets, ",") {
+				want[strings.TrimSpace(d)] = true
+			}
+			var filtered []experiments.Spec
+			for _, s := range specs {
+				if want[s.Dataset] {
+					filtered = append(filtered, s)
+				}
+			}
+			specs = filtered
+		}
+		var rows []experiments.Table3Row
+		for _, s := range specs {
+			row, err := env.RunTable3Row(s, opt)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Printf("done %s/%s: C=%d M_D=%d E=%d M_E=%d F=%d I=%d (topk %.1fs)\n",
+				row.Dataset, row.Blocker, row.C, row.MD, row.E, row.ME, row.F, row.I, row.TopKTime.Seconds())
+		}
+		fmt.Println()
+		return emit(rows, experiments.FormatTable3(rows))
+
+	case "table4":
+		rows, err := env.RunTable4(opt)
+		if err != nil {
+			return err
+		}
+		return emit(rows, experiments.FormatTable4(rows))
+
+	case "hashdebug":
+		rows, err := env.RunHashDebugAll(opt)
+		if err != nil {
+			return err
+		}
+		return emit(rows, experiments.FormatHashDebug(rows))
+
+	case "learned":
+		rows, err := env.RunLearned(3, opt)
+		if err != nil {
+			return err
+		}
+		return emit(rows, experiments.FormatLearned(rows))
+
+	case "fig9":
+		// Sweep one dataset fraction at a time and print points as they
+		// land, so an interrupted sweep still records its prefix.
+		// -datasets restricts to M2 or Papers (both by default), letting
+		// the two sweeps run at different -scale settings.
+		wantDS := map[string]bool{"M2": true, "Papers": true}
+		if datasets != "" {
+			wantDS = map[string]bool{}
+			for _, d := range strings.Split(datasets, ",") {
+				wantDS[strings.TrimSpace(d)] = true
+			}
+		}
+		m2 := experiments.SpecsFor("M2")[:3] // HASH1, HASH2, SIM1, as in the figure
+		var learned []experiments.Spec
+		if wantDS["Papers"] {
+			var err error
+			learned, err = env.LearnedBlockers(3, opt.Seed)
+			if err != nil {
+				return err
+			}
+		}
+		var all []experiments.Fig9Point
+		for _, pct := range []int{10, 40, 70, 100} {
+			var points []experiments.Fig9Point
+			if wantDS["M2"] {
+				ps, err := env.RunFig9("M2", m2, []int{100, 1000}, []int{pct})
+				if err != nil {
+					return err
+				}
+				points = append(points, ps...)
+			}
+			if wantDS["Papers"] {
+				// k=1000 only: the paper's k=100 series has the same
+				// shape, and each 95K-tuple join runs minutes on one core.
+				ps, err := env.RunFig9("Papers", learned, []int{1000}, []int{pct})
+				if err != nil {
+					return err
+				}
+				points = append(points, ps...)
+			}
+			for _, p := range points {
+				fmt.Printf("point %s/%s k=%d pct=%d%% %.2fs\n", p.Dataset, p.Blocker, p.K, p.Pct, p.Seconds)
+			}
+			all = append(all, points...)
+		}
+		fmt.Println()
+		return emit(all, experiments.FormatFig9(all))
+
+	case "ablate-config":
+		// One representative blocker per dataset (W-A's joins run for
+		// minutes each; its blockers are covered by table3).
+		specs := []experiments.Spec{
+			experiments.SpecsFor("A-G")[0],
+			experiments.SpecsFor("A-G")[1],
+			experiments.SpecsFor("A-D")[0],
+			experiments.SpecsFor("F-Z")[1],
+			experiments.SpecsFor("F-Z")[3],
+			experiments.SpecsFor("M1")[1],
+		}
+		rows, err := env.RunMultiConfigAblation(specs, opt)
+		if err != nil {
+			return err
+		}
+		return emit(rows, experiments.FormatMultiConfig(rows))
+
+	case "ablate-long":
+		// A-G is the long-attribute dataset (its descriptions dominate
+		// tuple length); W-A behaves the same but each of its joins runs
+		// for minutes, so the recorded ablation uses A-G.
+		specs := experiments.SpecsFor("A-G")
+		rows, err := env.RunLongAttrAblation(specs, opt)
+		if err != nil {
+			return err
+		}
+		return emit(rows, experiments.FormatLongAttr(rows))
+
+	case "ablate-joint":
+		specs := []experiments.Spec{
+			experiments.SpecsFor("A-G")[1],
+			experiments.SpecsFor("A-D")[0],
+			experiments.SpecsFor("F-Z")[1],
+			experiments.SpecsFor("M1")[1],
+		}
+		rows, err := env.RunJointAblation(specs, opt)
+		if err != nil {
+			return err
+		}
+		return emit(rows, experiments.FormatJoint(rows))
+
+	case "ablate-verifier":
+		specs := []experiments.Spec{
+			experiments.SpecsFor("A-G")[1],
+			experiments.SpecsFor("F-Z")[3],
+			experiments.SpecsFor("A-D")[3],
+		}
+		rows, err := env.RunVerifierAblation(specs, 10, opt)
+		if err != nil {
+			return err
+		}
+		return emit(rows, experiments.FormatVerifierAblation(rows))
+
+	case "sensitivity":
+		spec := experiments.SpecsFor("A-G")[1] // HASH, the richest M_D
+		points, err := env.RunSensitivityK(spec, []int{100, 250, 500, 1000, 2000})
+		if err != nil {
+			return err
+		}
+		al, err := env.RunSensitivityAL(spec, []int{0, 1, 3, 6}, 12, opt)
+		if err != nil {
+			return err
+		}
+		combined := struct {
+			K  []experiments.SensitivityPoint
+			AL []experiments.ALSensitivityPoint
+		}{points, al}
+		return emit(combined,
+			experiments.FormatSensitivityK(points)+"\n"+experiments.FormatSensitivityAL(al))
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

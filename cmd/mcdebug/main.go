@@ -1,0 +1,233 @@
+// Command mcdebug debugs a blocker's recall on two CSV tables, the way
+// the paper's users drive MatchCatcher.
+//
+// Interactive session (you are the labeler):
+//
+//	mcdebug -a A.csv -b B.csv -drop "title_cos_word<0.4"
+//
+// Each iteration prints up to n suspicious killed-off pairs; answer with
+// the numbers of the true matches (e.g. "1 3"), or press enter for none;
+// "q" stops. With -gold gold.csv the synthetic user labels automatically.
+//
+// Blockers: -drop parses a Magellan-style kill rule, -keep a keep rule,
+// -attr-equal names an attribute-equivalence blocker; several flags
+// combine as a union.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/core"
+	"matchcatcher/internal/oracle"
+	"matchcatcher/internal/table"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	aPath := flag.String("a", "", "table A CSV path")
+	bPath := flag.String("b", "", "table B CSV path")
+	goldPath := flag.String("gold", "", "optional gold CSV (a_row,b_row); labels automatically")
+	n := flag.Int("n", 20, "pairs per iteration")
+	k := flag.Int("k", 1000, "top-k per config")
+	seed := flag.Int64("seed", 1, "random seed")
+	report := flag.String("report", "", "write a JSON session report to this path")
+	var drops, keeps, equals listFlag
+	flag.Var(&drops, "drop", "kill-rule expression (repeatable)")
+	flag.Var(&keeps, "keep", "keep-rule expression (repeatable)")
+	flag.Var(&equals, "attr-equal", "attribute-equivalence blocker on this attribute (repeatable)")
+	flag.Parse()
+
+	if err := run(*aPath, *bPath, *goldPath, *report, *n, *k, *seed, drops, keeps, equals); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdebug:", err)
+		os.Exit(1)
+	}
+}
+
+func buildBlocker(drops, keeps, equals []string) (blocker.Blocker, error) {
+	var members []blocker.Blocker
+	for i, src := range drops {
+		e, err := blocker.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, blocker.DropRule(fmt.Sprintf("drop%d", i), e))
+	}
+	for i, src := range keeps {
+		e, err := blocker.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, blocker.KeepRule(fmt.Sprintf("keep%d", i), e))
+	}
+	for _, attr := range equals {
+		members = append(members, blocker.NewAttrEquivalence(attr))
+	}
+	switch len(members) {
+	case 0:
+		return nil, fmt.Errorf("no blocker given; use -drop, -keep, or -attr-equal")
+	case 1:
+		return members[0], nil
+	default:
+		return blocker.NewUnion("union", members...), nil
+	}
+}
+
+func run(aPath, bPath, goldPath, reportPath string, n, k int, seed int64, drops, keeps, equals []string) error {
+	if aPath == "" || bPath == "" {
+		return fmt.Errorf("-a and -b are required")
+	}
+	a, err := table.ReadCSVFile(aPath)
+	if err != nil {
+		return err
+	}
+	b, err := table.ReadCSVFile(bPath)
+	if err != nil {
+		return err
+	}
+	q, err := buildBlocker(drops, keeps, equals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("blocking %d x %d tuples with %s...\n", a.NumRows(), b.NumRows(), q.Name())
+	c, err := q.Block(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("|C| = %d pairs; searching D = AxB - C for killed-off matches...\n", c.Len())
+
+	opt := core.Options{}
+	opt.Join.K = k
+	opt.Verifier.N = n
+	opt.Verifier.Seed = seed
+	dbg, err := core.New(a, b, c, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configs over %v; |E| = %d candidates\n", dbg.Configs().Promising, dbg.CandidateCount())
+
+	var label func(x, y int) bool
+	if goldPath != "" {
+		gold, err := readGold(goldPath)
+		if err != nil {
+			return err
+		}
+		u := oracle.New(gold, 0, seed)
+		label = u.Label
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	for !dbg.Done() {
+		pairs := dbg.Next()
+		if len(pairs) == 0 {
+			break
+		}
+		labels := make([]bool, len(pairs))
+		if label != nil {
+			for i, p := range pairs {
+				labels[i] = label(p.A, p.B)
+			}
+		} else {
+			fmt.Printf("\niteration %d — are any of these matches?\n", dbg.Iterations()+1)
+			for i, p := range pairs {
+				fmt.Printf("  [%d] A#%d  %s\n       B#%d  %s\n", i+1,
+					p.A, strings.Join(dbg.RowA(p.A), " | "),
+					p.B, strings.Join(dbg.RowB(p.B), " | "))
+			}
+			fmt.Print("match numbers (e.g. \"1 3\"), enter for none, q to stop: ")
+			if !in.Scan() {
+				break
+			}
+			line := strings.TrimSpace(in.Text())
+			if line == "q" {
+				break
+			}
+			for _, f := range strings.Fields(line) {
+				if idx, err := strconv.Atoi(f); err == nil && idx >= 1 && idx <= len(labels) {
+					labels[idx-1] = true
+				}
+			}
+		}
+		if err := dbg.Feedback(labels); err != nil {
+			return err
+		}
+	}
+
+	matches := dbg.Matches()
+	fmt.Printf("\nfound %d killed-off matches in %d iterations\n", len(matches), dbg.Iterations())
+	for i, m := range matches {
+		if i >= 25 {
+			fmt.Printf("  ... and %d more\n", len(matches)-25)
+			break
+		}
+		ex := dbg.Explain(m)
+		fmt.Printf("  (A#%d, B#%d): %s\n", m.A, m.B, strings.Join(ex.Notes, "; "))
+	}
+	if len(matches) > 0 {
+		fmt.Println("\nmost pervasive blocker problems:")
+		for _, p := range dbg.TopProblems(matches, 5) {
+			fmt.Println("  -", p)
+		}
+	}
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		if err := dbg.WriteReport(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote session report to %s\n", reportPath)
+	}
+	return nil
+}
+
+func readGold(path string) (*blocker.PairSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	gold := blocker.NewPairSet()
+	first := true
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return gold, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			if len(rec) >= 1 && rec[0] == "a_row" {
+				continue
+			}
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("gold file %s: want a_row,b_row records", path)
+		}
+		a, errA := strconv.Atoi(rec[0])
+		b, errB := strconv.Atoi(rec[1])
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("gold file %s: bad record %v", path, rec)
+		}
+		gold.Add(a, b)
+	}
+}

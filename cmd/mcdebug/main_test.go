@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildBlocker(t *testing.T) {
+	if _, err := buildBlocker(nil, nil, nil); err == nil {
+		t.Error("want error with no blocker flags")
+	}
+	b, err := buildBlocker([]string{"title_jac_word<0.4"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "drop0" {
+		t.Errorf("name = %q", b.Name())
+	}
+	u, err := buildBlocker([]string{"title_jac_word<0.4"}, []string{"attr_equal_brand"}, []string{"city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name() != "union" {
+		t.Errorf("union name = %q", u.Name())
+	}
+	if _, err := buildBlocker([]string{"((("}, nil, nil); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+func TestReadGold(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gold.csv")
+	if err := os.WriteFile(path, []byte("a_row,b_row\n1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gold, err := readGold(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gold.Len() != 2 || !gold.Contains(1, 2) || !gold.Contains(3, 4) {
+		t.Errorf("gold = %v", gold.SortedPairs())
+	}
+	// Headerless files work too.
+	path2 := filepath.Join(dir, "gold2.csv")
+	os.WriteFile(path2, []byte("5,6\n"), 0o644)
+	gold2, err := readGold(path2)
+	if err != nil || !gold2.Contains(5, 6) {
+		t.Errorf("headerless gold: %v %v", err, gold2)
+	}
+	// Bad records fail.
+	path3 := filepath.Join(dir, "gold3.csv")
+	os.WriteFile(path3, []byte("x,y\nnope,1\n"), 0o644)
+	if _, err := readGold(path3); err == nil {
+		t.Error("want error for non-numeric gold record")
+	}
+	if _, err := readGold(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var l listFlag
+	l.Set("a")
+	l.Set("b")
+	if l.String() != "a,b" || len(l) != 2 {
+		t.Errorf("listFlag = %v", l)
+	}
+}

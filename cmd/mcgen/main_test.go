@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesDatasetFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("F-Z", 0.3, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"F-Z-A.csv", "F-Z-B.csv", "F-Z-gold.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+			t.Errorf("%s has no data rows", name)
+		}
+	}
+	gold, _ := os.ReadFile(filepath.Join(dir, "F-Z-gold.csv"))
+	if !strings.HasPrefix(string(gold), "a_row,b_row\n") {
+		t.Errorf("gold header missing: %q", string(gold[:20]))
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nope", 1, t.TempDir()); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}

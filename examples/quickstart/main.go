@@ -1,0 +1,106 @@
+// Quickstart walks through the paper's running example (Figure 1 /
+// Example 1.1): a user iteratively debugs and repairs a blocker over two
+// small person tables, going from Q1 (city equality, which kills two true
+// matches) to Q3 (city equality OR last-name edit distance <= 2, which
+// kills none).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"matchcatcher"
+)
+
+func mustTable(name string, attrs []string, rows [][]string) *matchcatcher.Table {
+	t, err := matchcatcher.NewTable(name, attrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := t.Append(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return t
+}
+
+func main() {
+	attrs := []string{"Name", "City", "Age"}
+	a := mustTable("A", attrs, [][]string{
+		{"Dave Smith", "Altanta", "18"},
+		{"Daniel Smith", "LA", "18"},
+		{"Joe Welson", "New York", "25"},
+		{"Charles Williams", "Chicago", "45"},
+		{"Charlie William", "Atlanta", "28"},
+	})
+	b := mustTable("B", attrs, [][]string{
+		{"David Smith", "Atlanta", "18"},
+		{"Joe Wilson", "NY", "25"},
+		{"Daniel W. Smith", "LA", "30"},
+		{"Charles Williams", "Chicago", "45"},
+	})
+	// The user knows these are the true matches; MatchCatcher does not.
+	gold := map[matchcatcher.Pair]bool{
+		{A: 0, B: 0}: true, // Dave Smith ~ David Smith
+		{A: 1, B: 2}: true, // Daniel Smith ~ Daniel W. Smith
+		{A: 2, B: 1}: true, // Joe Welson ~ Joe Wilson
+		{A: 3, B: 3}: true, // Charles Williams
+	}
+
+	blockers := []matchcatcher.Blocker{
+		// Q1: keep pairs agreeing on City.
+		matchcatcher.AttrEquivalence("City"),
+		// Q2: ... OR agreeing on the last word of Name.
+		must(matchcatcher.ParseKeepRule("Q2", "attr_equal_City OR attr_equal_lastword(Name)")),
+		// Q3: ... OR last names within edit distance 2.
+		must(matchcatcher.ParseKeepRule("Q3", "attr_equal_City OR lastword(Name)_ed <= 2")),
+	}
+
+	for _, q := range blockers {
+		c, err := q.Block(a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== blocker %s: |C| = %d pairs ===\n", q.Name(), c.Len())
+
+		dbg, err := matchcatcher.New(a, b, c, matchcatcher.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for !dbg.Done() {
+			pairs := dbg.Next()
+			if len(pairs) == 0 {
+				break
+			}
+			labels := make([]bool, len(pairs))
+			for i, p := range pairs {
+				labels[i] = gold[p] // the user eyeballs each pair
+			}
+			if err := dbg.Feedback(labels); err != nil {
+				log.Fatal(err)
+			}
+		}
+		matches := dbg.Matches()
+		if len(matches) == 0 {
+			fmt.Print("no killed-off matches found — this blocker looks safe\n\n")
+			continue
+		}
+		fmt.Printf("killed-off true matches (%d):\n", len(matches))
+		for _, m := range matches {
+			ex := dbg.Explain(m)
+			fmt.Printf("  (a%d, b%d): %s\n", m.A+1, m.B+1, strings.Join(ex.Notes, "; "))
+		}
+		fmt.Println()
+	}
+}
+
+func must(b matchcatcher.Blocker, err error) matchcatcher.Blocker {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module matchcatcher
+
+go 1.22

@@ -1,0 +1,79 @@
+package blocker
+
+import (
+	"math/rand"
+	"testing"
+
+	"matchcatcher/internal/table"
+)
+
+func TestConcurrentMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a := randomProductTable("A", 60, rng)
+	b := randomProductTable("B", 90, rng)
+	inner := []Blocker{
+		NewAttrEquivalence("brand"),
+		MustParseDropRule("r", "price_absdiff>20 OR title_jac_word<0.5"),
+		NewUnion("u", NewAttrEquivalence("brand"), MustParseKeepRule("k", "title_overlap_word>=2")),
+	}
+	for _, q := range inner {
+		serial, err := q.Block(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 7, 1000} {
+			par := &Concurrent{Inner: q, Workers: workers}
+			got, err := par.Block(a, b)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", q.Name(), workers, err)
+			}
+			if !samePairSet(got, serial) {
+				t.Errorf("%s workers=%d: %d pairs, serial %d", q.Name(), workers, got.Len(), serial.Len())
+			}
+		}
+	}
+}
+
+func TestConcurrentRejectsContextDependent(t *testing.T) {
+	a := table.MustNew("A", []string{"x"})
+	b := table.MustNew("B", []string{"x"})
+	for _, inner := range []Blocker{
+		&SortedNeighborhood{ID: "sn", Key: AttrKey("x"), Window: 2},
+		NewCanopy("x"),
+		NewSuffixArray("x"),
+		NewUnion("u", NewCanopy("x")),
+	} {
+		if _, err := NewConcurrent(inner).Block(a, b); err == nil {
+			t.Errorf("%s should be rejected by the concurrent driver", inner.Name())
+		}
+	}
+	// Nested Concurrent over a safe blocker is fine.
+	ok := NewConcurrent(NewConcurrent(NewAttrEquivalence("x")))
+	if _, err := ok.Block(a, b); err != nil {
+		t.Errorf("nested concurrent: %v", err)
+	}
+}
+
+func TestConcurrentName(t *testing.T) {
+	c := NewConcurrent(NewAttrEquivalence("x"))
+	if c.Name() != "attr_equal_x+parallel" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestTableRange(t *testing.T) {
+	tb := table.MustNew("T", []string{"x"})
+	for i := 0; i < 5; i++ {
+		tb.MustAppend([]string{string(rune('a' + i))})
+	}
+	r := tb.Range(1, 3)
+	if r.NumRows() != 2 || r.Value(0, 0) != "b" {
+		t.Errorf("Range view wrong: %d rows, first %q", r.NumRows(), r.Value(0, 0))
+	}
+	if tb.Range(-5, 99).NumRows() != 5 {
+		t.Error("Range clamping broken")
+	}
+	if tb.Range(4, 2).NumRows() != 0 {
+		t.Error("inverted Range should be empty")
+	}
+}

@@ -1,0 +1,50 @@
+package blocker
+
+import (
+	"fmt"
+
+	"matchcatcher/internal/simfunc"
+	"matchcatcher/internal/tokenize"
+)
+
+// NewOverlap returns an overlap blocker keeping pairs whose values of attr
+// share at least minCount tokens under tok.
+func NewOverlap(attr string, tok tokenize.Tokenizer, minCount int) *Rule {
+	return KeepRule(
+		fmt.Sprintf("%s_overlap_%s>=%d", attr, tok.Name(), minCount),
+		Atom{
+			Feature: Feature{Attr: attr, Kind: FeatOverlapCount, Tok: tok},
+			Op:      OpGE,
+			Value:   float64(minCount),
+		})
+}
+
+// NewSim returns a similarity-based blocker keeping pairs whose values of
+// attr score at least threshold under the measure and tokenizer.
+func NewSim(attr string, m simfunc.SetMeasure, tok tokenize.Tokenizer, threshold float64) *Rule {
+	return KeepRule(
+		fmt.Sprintf("%s_%s_%s>=%g", attr, m, tok.Name(), threshold),
+		Atom{
+			Feature: Feature{Attr: attr, Kind: FeatSetSim, Measure: m, Tok: tok},
+			Op:      OpGE,
+			Value:   threshold,
+		})
+}
+
+// NewEditDistance returns a similarity-based blocker keeping pairs whose
+// (optionally transformed) values of attr are within edit distance d —
+// e.g. the paper's Q3 rule ed(lastword(a.Name), lastword(b.Name)) <= 2 is
+// NewEditDistance("Name", TransformLastWord, 2).
+func NewEditDistance(attr string, tr Transform, d int) *Rule {
+	name := attr
+	if tr != TransformNone {
+		name = tr.String() + "(" + attr + ")"
+	}
+	return KeepRule(
+		fmt.Sprintf("%s_ed<=%d", name, d),
+		Atom{
+			Feature: Feature{Attr: attr, Transform: tr, Kind: FeatEditDist},
+			Op:      OpLE,
+			Value:   float64(d),
+		})
+}

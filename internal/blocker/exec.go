@@ -1,0 +1,516 @@
+package blocker
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"matchcatcher/internal/simfunc"
+	"matchcatcher/internal/table"
+	"matchcatcher/internal/tokenize"
+)
+
+// Rule is a rule-based blocker defined by a keep condition: a pair survives
+// blocking iff Keep holds. Build one with KeepRule (keep semantics) or
+// DropRule (Magellan-style kill rules, as in the paper's Table 2). Block
+// executes the rule with index-driven candidate generation: the keep
+// condition is normalized to DNF and each conjunct is driven by its most
+// selective indexable atom (equality > set similarity > overlap count >
+// edit distance > numeric range), falling back to a nested loop only when
+// a conjunct has no indexable atom. Atoms are compiled once per Block call
+// so per-pair verification never re-tokenizes values.
+type Rule struct {
+	ID   string
+	Keep Expr
+}
+
+// KeepRule returns a blocker that keeps exactly the pairs satisfying e.
+func KeepRule(id string, e Expr) *Rule { return &Rule{ID: id, Keep: e} }
+
+// DropRule returns a blocker that drops pairs satisfying e (and keeps the
+// rest) — the convention of the paper's Table 2 OL/SIM/R blockers.
+func DropRule(id string, e Expr) *Rule { return &Rule{ID: id, Keep: Not{e}} }
+
+// MustParseDropRule parses src as a kill-rule expression and wraps it.
+func MustParseDropRule(id, src string) *Rule { return DropRule(id, MustParse(src)) }
+
+// MustParseKeepRule parses src as a keep expression and wraps it.
+func MustParseKeepRule(id, src string) *Rule { return KeepRule(id, MustParse(src)) }
+
+// Name implements Blocker.
+func (r *Rule) Name() string { return r.ID }
+
+// Block implements Blocker.
+func (r *Rule) Block(a, b *table.Table) (*PairSet, error) {
+	out := NewPairSet()
+	comp := newCompiler(a, b)
+	for _, conj := range DNF(r.Keep) {
+		blockConjunct(comp, conj, out)
+	}
+	return out, nil
+}
+
+// compiler caches per-column derived data (token sets, normalized strings,
+// parsed floats) shared by every atom over the same feature.
+type compiler struct {
+	a, b  *table.Table
+	cache map[Feature]*columnData
+}
+
+type columnData struct {
+	aToks, bToks [][]string // FeatSetSim / FeatOverlapCount
+	aNorm, bNorm []string   // FeatEqual / FeatEditDist
+	aNum, bNum   []float64  // FeatAbsDiff (NaN when missing)
+	haveTok      bool
+	haveNorm     bool
+	haveNum      bool
+}
+
+func newCompiler(a, b *table.Table) *compiler {
+	return &compiler{a: a, b: b, cache: map[Feature]*columnData{}}
+}
+
+// featKey strips the measure so that e.g. jac and cos atoms over the same
+// attr/tokenizer/transform share token columns, and all normalized-string
+// kinds (equality, edit distance, Jaro, Jaro-Winkler) share norm columns.
+func featKey(f Feature) Feature {
+	f.Measure = 0
+	switch f.Kind {
+	case FeatSetSim:
+		f.Kind = FeatOverlapCount
+	case FeatEditDist, FeatJaro, FeatJaroWinkler:
+		f.Kind = FeatEqual
+	}
+	return f
+}
+
+func (c *compiler) data(f Feature) *columnData {
+	k := featKey(f)
+	d := c.cache[k]
+	if d == nil {
+		d = &columnData{}
+		c.cache[k] = d
+	}
+	switch f.Kind {
+	case FeatSetSim, FeatOverlapCount:
+		if !d.haveTok {
+			d.aToks = tokenizeColumn(c.a, f)
+			d.bToks = tokenizeColumn(c.b, f)
+			d.haveTok = true
+		}
+	case FeatEqual, FeatEditDist, FeatJaro, FeatJaroWinkler:
+		if !d.haveNorm {
+			d.aNorm = normColumn(c.a, f)
+			d.bNorm = normColumn(c.b, f)
+			d.haveNorm = true
+		}
+	case FeatAbsDiff:
+		if !d.haveNum {
+			d.aNum = numColumn(c.a, f)
+			d.bNum = numColumn(c.b, f)
+			d.haveNum = true
+		}
+	}
+	return d
+}
+
+// compiled is an atom with a fast Holds over precomputed columns.
+type compiled struct {
+	at    Atom
+	data  *columnData
+	holds func(ra, rb int) bool
+}
+
+func (c *compiler) compile(at Atom) compiled {
+	d := c.data(at.Feature)
+	var holds func(ra, rb int) bool
+	switch at.Feature.Kind {
+	case FeatEqual:
+		holds = func(ra, rb int) bool {
+			x := 0.0
+			if d.aNorm[ra] != "" && d.aNorm[ra] == d.bNorm[rb] {
+				x = 1
+			}
+			return at.Op.holds(x, at.Value)
+		}
+	case FeatSetSim:
+		m := at.Feature.Measure
+		holds = func(ra, rb int) bool {
+			return at.Op.holds(m.Score(d.aToks[ra], d.bToks[rb]), at.Value)
+		}
+	case FeatOverlapCount:
+		holds = func(ra, rb int) bool {
+			return at.Op.holds(float64(simfunc.OverlapCount(d.aToks[ra], d.bToks[rb])), at.Value)
+		}
+	case FeatEditDist:
+		holds = func(ra, rb int) bool {
+			return at.Op.holds(float64(simfunc.Levenshtein(d.aNorm[ra], d.bNorm[rb])), at.Value)
+		}
+	case FeatJaro:
+		holds = func(ra, rb int) bool {
+			return at.Op.holds(simfunc.Jaro(d.aNorm[ra], d.bNorm[rb]), at.Value)
+		}
+	case FeatJaroWinkler:
+		holds = func(ra, rb int) bool {
+			return at.Op.holds(simfunc.JaroWinkler(d.aNorm[ra], d.bNorm[rb]), at.Value)
+		}
+	case FeatAbsDiff:
+		holds = func(ra, rb int) bool {
+			x := math.Abs(d.aNum[ra] - d.bNum[rb])
+			if math.IsNaN(x) {
+				x = math.Inf(1)
+			}
+			return at.Op.holds(x, at.Value)
+		}
+	default:
+		panic("blocker: unknown feature kind")
+	}
+	return compiled{at: at, data: d, holds: holds}
+}
+
+func tokenizeColumn(t *table.Table, f Feature) [][]string {
+	out := make([][]string, t.NumRows())
+	for i := range out {
+		out[i] = f.Tok.Tokens(featValue(t, i, f))
+	}
+	return out
+}
+
+func normColumn(t *table.Table, f Feature) []string {
+	out := make([]string, t.NumRows())
+	for i := range out {
+		out[i] = tokenize.Normalize(featValue(t, i, f))
+	}
+	return out
+}
+
+func numColumn(t *table.Table, f Feature) []float64 {
+	out := make([]float64, t.NumRows())
+	for i := range out {
+		v, err := strconv.ParseFloat(featValue(t, i, f), 64)
+		if err != nil {
+			v = math.NaN()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func featValue(t *table.Table, row int, f Feature) string {
+	v, _ := t.ValueByName(row, f.Attr)
+	return f.Transform.apply(v)
+}
+
+// driverRank orders atom drivability; lower is better. Returns a large
+// value for atoms that cannot drive candidate generation.
+func driverRank(at Atom) int {
+	switch at.Feature.Kind {
+	case FeatEqual:
+		if (at.Op == OpEQ || at.Op == OpGE) && at.Value == 1 || at.Op == OpGT && at.Value < 1 && at.Value >= 0 || at.Op == OpNE && at.Value == 0 {
+			return 0
+		}
+	case FeatSetSim:
+		if (at.Op == OpGE || at.Op == OpGT) && at.Value > 0 && at.Feature.Measure != simfunc.Overlap {
+			return 1
+		}
+	case FeatOverlapCount:
+		if at.Op == OpGE && at.Value >= 1 || at.Op == OpGT && at.Value >= 0 {
+			return 2
+		}
+	case FeatEditDist:
+		if at.Op == OpLE || at.Op == OpLT {
+			return 3
+		}
+	case FeatAbsDiff:
+		if at.Op == OpLE || at.Op == OpLT {
+			return 4
+		}
+	}
+	return 100
+}
+
+// blockConjunct emits every pair satisfying all atoms of conj into out.
+func blockConjunct(c *compiler, conj []Atom, out *PairSet) {
+	if len(conj) == 0 {
+		return
+	}
+	comps := make([]compiled, len(conj))
+	for i, at := range conj {
+		comps[i] = c.compile(at)
+	}
+	best, bestRank := 0, driverRank(conj[0])
+	for i := 1; i < len(conj); i++ {
+		if r := driverRank(conj[i]); r < bestRank {
+			best, bestRank = i, r
+		}
+	}
+	verify := func(ra, rb int) {
+		for i := range comps {
+			if !comps[i].holds(ra, rb) {
+				return
+			}
+		}
+		out.Add(ra, rb)
+	}
+	if bestRank >= 100 {
+		// No indexable atom: nested loop. Correct on any input; intended
+		// for small tables or conjuncts like "absdiff > t" alone.
+		for ra := 0; ra < c.a.NumRows(); ra++ {
+			for rb := 0; rb < c.b.NumRows(); rb++ {
+				verify(ra, rb)
+			}
+		}
+		return
+	}
+	drv := comps[best]
+	at := drv.at
+	switch at.Feature.Kind {
+	case FeatEqual:
+		driveEquality(drv, verify)
+	case FeatSetSim:
+		t := at.Value
+		if at.Op == OpGT {
+			t = math.Nextafter(t, 1)
+		}
+		drivePrefixFilter(drv, t, verify)
+	case FeatOverlapCount:
+		cnt := int(math.Ceil(at.Value))
+		if at.Op == OpGT && float64(cnt) == at.Value {
+			cnt++
+		}
+		if cnt < 1 {
+			cnt = 1
+		}
+		driveOverlapCount(drv, cnt, verify)
+	case FeatEditDist:
+		d := int(math.Floor(at.Value))
+		if at.Op == OpLT && float64(d) == at.Value {
+			d--
+		}
+		driveEditDistance(drv, d, verify)
+	case FeatAbsDiff:
+		driveNumericRange(drv, at.Value, verify)
+	}
+}
+
+func driveEquality(drv compiled, emit func(ra, rb int)) {
+	buckets := make(map[string][]int)
+	for ra, k := range drv.data.aNorm {
+		if k != "" {
+			buckets[k] = append(buckets[k], ra)
+		}
+	}
+	for rb, k := range drv.data.bNorm {
+		if k == "" {
+			continue
+		}
+		for _, ra := range buckets[k] {
+			emit(ra, rb)
+		}
+	}
+}
+
+// minOverlap returns the minimum overlap a set of size lx must share with
+// any partner for the measure to reach threshold t (prefix filtering: the
+// first common token of a qualifying pair lies within the first
+// lx - minOverlap + 1 tokens).
+func minOverlap(m simfunc.SetMeasure, t float64, lx int) int {
+	var o float64
+	switch m {
+	case simfunc.Jaccard:
+		o = t * float64(lx)
+	case simfunc.Cosine:
+		o = t * t * float64(lx)
+	case simfunc.Dice:
+		o = t / (2 - t) * float64(lx)
+	default:
+		o = 1
+	}
+	mo := int(math.Ceil(o - 1e-9))
+	if mo < 1 {
+		mo = 1
+	}
+	if mo > lx {
+		mo = lx
+	}
+	return mo
+}
+
+// tokenOrder assigns each token a global rank by increasing document
+// frequency across both token lists, so prefixes hold the rarest tokens.
+func tokenOrder(lists ...[][]string) map[string]int {
+	freq := make(map[string]int)
+	for _, ls := range lists {
+		for _, toks := range ls {
+			for _, t := range toks {
+				freq[t]++
+			}
+		}
+	}
+	toks := make([]string, 0, len(freq))
+	for t := range freq {
+		toks = append(toks, t)
+	}
+	sort.Slice(toks, func(i, j int) bool {
+		if freq[toks[i]] != freq[toks[j]] {
+			return freq[toks[i]] < freq[toks[j]]
+		}
+		return toks[i] < toks[j]
+	})
+	order := make(map[string]int, len(toks))
+	for i, t := range toks {
+		order[t] = i
+	}
+	return order
+}
+
+// drivePrefixFilter generates candidates for measure(f) >= t using prefix
+// filtering, then verifies exactly via emit. It sorts copies of the token
+// columns so the shared cache keeps its original order.
+func drivePrefixFilter(drv compiled, t float64, emit func(ra, rb int)) {
+	m := drv.at.Feature.Measure
+	order := tokenOrder(drv.data.aToks, drv.data.bToks)
+	sortToks := func(col [][]string) [][]string {
+		out := make([][]string, len(col))
+		for i, toks := range col {
+			cp := append([]string(nil), toks...)
+			sort.Slice(cp, func(x, y int) bool { return order[cp[x]] < order[cp[y]] })
+			out[i] = cp
+		}
+		return out
+	}
+	aToks := sortToks(drv.data.aToks)
+	bToks := sortToks(drv.data.bToks)
+	idx := make(map[string][]int)
+	for ra, toks := range aToks {
+		lx := len(toks)
+		if lx == 0 {
+			continue
+		}
+		p := lx - minOverlap(m, t, lx) + 1
+		for _, tok := range toks[:p] {
+			idx[tok] = append(idx[tok], ra)
+		}
+	}
+	seen := make(map[int]int) // candidate ra -> stamp of last rb processed
+	for rb, toks := range bToks {
+		ly := len(toks)
+		if ly == 0 {
+			continue
+		}
+		p := ly - minOverlap(m, t, ly) + 1
+		for _, tok := range toks[:p] {
+			for _, ra := range idx[tok] {
+				if seen[ra] == rb+1 {
+					continue
+				}
+				seen[ra] = rb + 1
+				emit(ra, rb)
+			}
+		}
+	}
+}
+
+// driveOverlapCount generates candidates sharing at least cnt tokens via
+// an inverted index with per-candidate counting.
+func driveOverlapCount(drv compiled, cnt int, emit func(ra, rb int)) {
+	idx := make(map[string][]int)
+	for ra, toks := range drv.data.aToks {
+		for _, tok := range toks {
+			idx[tok] = append(idx[tok], ra)
+		}
+	}
+	counts := make(map[int]int)
+	for rb, toks := range drv.data.bToks {
+		clear(counts)
+		for _, tok := range toks {
+			for _, ra := range idx[tok] {
+				counts[ra]++
+			}
+		}
+		for ra, n := range counts {
+			if n >= cnt {
+				emit(ra, rb)
+			}
+		}
+	}
+}
+
+// driveEditDistance generates candidates within edit distance d using
+// 3-gram count filtering with a length filter, falling back to a
+// length-filtered scan for strings too short for the gram filter.
+func driveEditDistance(drv compiled, d int, emit func(ra, rb int)) {
+	if d < 0 {
+		return
+	}
+	const q = 3
+	aNorm, bNorm := drv.data.aNorm, drv.data.bNorm
+	aGrams := make([][]string, len(aNorm))
+	idx := make(map[string][]int)
+	for ra, n := range aNorm {
+		g := tokenize.QGramSet(n, q)
+		aGrams[ra] = g
+		for _, gram := range g {
+			idx[gram] = append(idx[gram], ra)
+		}
+	}
+	counts := make(map[int]int)
+	for rb, nb := range bNorm {
+		gb := tokenize.QGramSet(nb, q)
+		// Each edit destroys at most q grams of b's gram set.
+		need := len(gb) - q*d
+		if need >= 1 {
+			clear(counts)
+			for _, gram := range gb {
+				for _, ra := range idx[gram] {
+					counts[ra]++
+				}
+			}
+			for ra, n := range counts {
+				if n >= need && lenDiffOK(aNorm[ra], nb, d) {
+					emit(ra, rb)
+				}
+			}
+			continue
+		}
+		// Too short to filter by grams: scan with the length filter only.
+		for ra := range aNorm {
+			if lenDiffOK(aNorm[ra], nb, d) {
+				emit(ra, rb)
+			}
+		}
+	}
+}
+
+func lenDiffOK(x, y string, d int) bool {
+	dx := len(x) - len(y)
+	if dx < 0 {
+		dx = -dx
+	}
+	return dx <= d
+}
+
+// driveNumericRange generates candidates with |x-y| <= v by sorting A's
+// numeric values and range-scanning per tuple of B.
+func driveNumericRange(drv compiled, v float64, emit func(ra, rb int)) {
+	type num struct {
+		val float64
+		row int
+	}
+	var nums []num
+	for ra, x := range drv.data.aNum {
+		if !math.IsNaN(x) {
+			nums = append(nums, num{x, ra})
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i].val < nums[j].val })
+	for rb, y := range drv.data.bNum {
+		if math.IsNaN(y) {
+			continue
+		}
+		lo := sort.Search(len(nums), func(i int) bool { return nums[i].val >= y-v })
+		for i := lo; i < len(nums) && nums[i].val <= y+v; i++ {
+			emit(nums[i].row, rb)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package blocker
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"matchcatcher/internal/simfunc"
+	"matchcatcher/internal/table"
+	"matchcatcher/internal/tokenize"
+)
+
+// bruteForceKeep computes the keep set by evaluating the expression on
+// every pair — the reference for the index-driven executor.
+func bruteForceKeep(a, b *table.Table, e Expr) *PairSet {
+	out := NewPairSet()
+	for ra := 0; ra < a.NumRows(); ra++ {
+		for rb := 0; rb < b.NumRows(); rb++ {
+			if e.Holds(a, ra, b, rb) {
+				out.Add(ra, rb)
+			}
+		}
+	}
+	return out
+}
+
+func samePairSet(x, y *PairSet) bool {
+	if x.Len() != y.Len() {
+		return false
+	}
+	same := true
+	x.ForEach(func(a, b int) {
+		if !y.Contains(a, b) {
+			same = false
+		}
+	})
+	return same
+}
+
+// randomProductTable builds a small dirty product table.
+func randomProductTable(name string, n int, rng *rand.Rand) *table.Table {
+	brands := []string{"acme", "globex", "initech", "umbrella", ""}
+	words := []string{"usb", "cable", "fast", "pro", "mini", "charger", "hub", "adapter", "hd", "wireless"}
+	t := table.MustNew(name, []string{"title", "brand", "price", "year"})
+	for i := 0; i < n; i++ {
+		nw := 1 + rng.Intn(4)
+		var title []string
+		for w := 0; w < nw; w++ {
+			title = append(title, words[rng.Intn(len(words))])
+		}
+		price := fmt.Sprintf("%d", rng.Intn(60))
+		if rng.Intn(8) == 0 {
+			price = ""
+		}
+		t.MustAppend([]string{
+			strings.Join(title, " "),
+			brands[rng.Intn(len(brands))],
+			price,
+			fmt.Sprintf("%d", 2000+rng.Intn(10)),
+		})
+	}
+	return t
+}
+
+// TestRuleExecutionMatchesBruteForce is the core soundness property of the
+// index-driven executor: for a zoo of rules spanning every driver kind,
+// Block produces exactly the brute-force keep set.
+func TestRuleExecutionMatchesBruteForce(t *testing.T) {
+	rules := []string{
+		"title_overlap_word<2",
+		"title_jac_word<0.4",
+		"title_cos_word<0.5",
+		"title_dice_word<0.5",
+		"brand_jac_3gram<0.6",
+		"attr_equal_brand",
+		"price_absdiff>20",
+		"price_absdiff>20 OR title_jac_word<0.5",
+		"title_jac_word<0.2 AND brand_jac_3gram<0.4",
+		"(title_cos_word<0.5 AND brand_jac_3gram<0.7) OR title_jac_word<0.3",
+		"year_absdiff>2 OR title_cos_word<0.7",
+		"title_editdist>4",
+		"lastword(title)_ed>1",
+		"NOT attr_equal_brand AND title_overlap_word<1",
+		"title_overlapcoeff_word<0.5",
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomProductTable("A", 40, rng)
+		b := randomProductTable("B", 50, rng)
+		for _, src := range rules {
+			expr := MustParse(src)
+			for _, mode := range []string{"drop", "keep"} {
+				var r *Rule
+				if mode == "drop" {
+					r = DropRule(mode+":"+src, expr)
+				} else {
+					r = KeepRule(mode+":"+src, expr)
+				}
+				got, err := r.Block(a, b)
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, r.Name(), err)
+				}
+				want := bruteForceKeep(a, b, r.Keep)
+				if !samePairSet(got, want) {
+					t.Errorf("seed %d rule %s: got %d pairs, want %d",
+						seed, r.Name(), got.Len(), want.Len())
+				}
+			}
+		}
+	}
+}
+
+func TestConvenienceBlockers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomProductTable("A", 30, rng)
+	b := randomProductTable("B", 30, rng)
+
+	ov := NewOverlap("title", wordTok(), 2)
+	got, err := ov.Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceKeep(a, b, ov.Keep)
+	if !samePairSet(got, want) {
+		t.Errorf("NewOverlap: got %d, want %d", got.Len(), want.Len())
+	}
+
+	sim := NewSim("title", jacMeasure(), wordTok(), 0.5)
+	got, err = sim.Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = bruteForceKeep(a, b, sim.Keep)
+	if !samePairSet(got, want) {
+		t.Errorf("NewSim: got %d, want %d", got.Len(), want.Len())
+	}
+
+	ed := NewEditDistance("brand", TransformNone, 2)
+	got, err = ed.Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = bruteForceKeep(a, b, ed.Keep)
+	if !samePairSet(got, want) {
+		t.Errorf("NewEditDistance: got %d, want %d", got.Len(), want.Len())
+	}
+	if !strings.Contains(ed.Name(), "ed<=2") {
+		t.Errorf("name = %q", ed.Name())
+	}
+}
+
+func TestRuleNamesAndParseHelpers(t *testing.T) {
+	r := MustParseDropRule("ol", "title_overlap_word<3")
+	if r.Name() != "ol" {
+		t.Errorf("name = %q", r.Name())
+	}
+	k := MustParseKeepRule("keep", "attr_equal_brand")
+	if k.Name() != "keep" {
+		t.Errorf("name = %q", k.Name())
+	}
+}
+
+func TestEditDistanceShortStringsFallback(t *testing.T) {
+	// Strings shorter than the gram filter threshold exercise the
+	// length-filtered scan path.
+	a := table.MustNew("A", []string{"x"})
+	for _, v := range []string{"ab", "cd", "a", ""} {
+		a.MustAppend([]string{v})
+	}
+	b := table.MustNew("B", []string{"x"})
+	for _, v := range []string{"ac", "c", "zzzzzzzz"} {
+		b.MustAppend([]string{v})
+	}
+	r := NewEditDistance("x", TransformNone, 1)
+	got, err := r.Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceKeep(a, b, r.Keep)
+	if !samePairSet(got, want) {
+		t.Errorf("short-string ed: got %v, want %v", got.SortedPairs(), want.SortedPairs())
+	}
+}
+
+func wordTok() tokenize.Tokenizer { return tokenize.WordTokenizer{} }
+
+func jacMeasure() simfunc.SetMeasure { return simfunc.Jaccard }
+
+func TestJaroRulesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomProductTable("A", 25, rng)
+	b := randomProductTable("B", 25, rng)
+	for _, src := range []string{"title_jw<0.85", "brand_jaro<0.9", "lastword(title)_jw>=0.8"} {
+		r := DropRule(src, MustParse(src))
+		got, err := r.Block(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceKeep(a, b, r.Keep)
+		if !samePairSet(got, want) {
+			t.Errorf("rule %s: got %d pairs, want %d", src, got.Len(), want.Len())
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package blocker
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the rule parser never panics and that anything it
+// accepts round-trips: the String() rendering of a parsed expression must
+// parse again to an expression with the same rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"title_overlap_word<3",
+		"attr_equal_manuf",
+		"price_absdiff>20 OR title_jac_word<0.5",
+		"(name_cos_word<0.5 AND type_jac_3gram<0.7) OR addr_jac_3gram<0.3",
+		"NOT attr_equal_city",
+		"lastword(name)_ed<=2",
+		"name_jw>=0.9",
+		"a_absdiff<1 AND NOT (b_absdiff>2 OR c_dice_word<0.3)",
+		"((", "x", "_", "attr_equal_", ">=1", "a_jac_word< ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		rendered := e.String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not reparse: %v", src, rendered, err)
+		}
+		if got := e2.String(); got != rendered {
+			t.Fatalf("rendering not stable: %q -> %q", rendered, got)
+		}
+	})
+}
+
+// FuzzSoundex asserts Soundex output is always "" or letter+3 digits.
+func FuzzSoundex(f *testing.F) {
+	for _, s := range []string{"Robert", "smith", "", "123", "Ashcraft", "O'Brien", "日本語", "a", "pf"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c := Soundex(s)
+		if c == "" {
+			return
+		}
+		if len(c) != 4 {
+			t.Fatalf("Soundex(%q) = %q (len %d)", s, c, len(c))
+		}
+		if c[0] < 'A' || c[0] > 'Z' {
+			t.Fatalf("Soundex(%q) = %q: first char not a letter", s, c)
+		}
+		for i := 1; i < 4; i++ {
+			if !strings.ContainsRune("0123456", rune(c[i])) {
+				t.Fatalf("Soundex(%q) = %q: digit %q invalid", s, c, c[i])
+			}
+		}
+	})
+}

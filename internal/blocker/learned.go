@@ -1,0 +1,90 @@
+package blocker
+
+import (
+	"fmt"
+
+	"matchcatcher/internal/table"
+)
+
+// LabeledPair is one sample pair labeled match/no-match (the stand-in for
+// the crowdsourced samples that state-of-the-art blocker learners such as
+// Falcon [8] train on; see §6.2 of the paper).
+type LabeledPair struct {
+	A, B  int
+	Match bool
+}
+
+// Learn greedily builds a union-of-rules blocker from a candidate pool:
+// at each step it adds the rule that keeps the most not-yet-covered sample
+// matches while keeping at most maxFPRate of the sample non-matches, and
+// stops after maxRules rules or when no rule improves coverage. Like the
+// sample-trained learners it models, the result can look excellent on the
+// sample yet kill unseen matches — exactly the failure mode MatchCatcher
+// is then used to expose.
+func Learn(id string, a, b *table.Table, sample []LabeledPair, pool []*Rule, maxRules int, maxFPRate float64) (*Union, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("blocker: Learn needs a labeled sample")
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("blocker: Learn needs a candidate rule pool")
+	}
+	var matches, nons []LabeledPair
+	for _, p := range sample {
+		if p.Match {
+			matches = append(matches, p)
+		} else {
+			nons = append(nons, p)
+		}
+	}
+	// keeps[r][i] caches rule r's verdict on sample matches.
+	keeps := make([][]bool, len(pool))
+	fpRate := make([]float64, len(pool))
+	for ri, r := range pool {
+		keeps[ri] = make([]bool, len(matches))
+		for i, p := range matches {
+			keeps[ri][i] = r.Keep.Holds(a, p.A, b, p.B)
+		}
+		fp := 0
+		for _, p := range nons {
+			if r.Keep.Holds(a, p.A, b, p.B) {
+				fp++
+			}
+		}
+		if len(nons) > 0 {
+			fpRate[ri] = float64(fp) / float64(len(nons))
+		}
+	}
+	covered := make([]bool, len(matches))
+	u := &Union{ID: id}
+	for len(u.Members) < maxRules {
+		best, bestGain := -1, 0
+		for ri := range pool {
+			if fpRate[ri] > maxFPRate {
+				continue
+			}
+			gain := 0
+			for i := range matches {
+				if !covered[i] && keeps[ri][i] {
+					gain++
+				}
+			}
+			// Prefer higher gain; break ties toward more selective rules.
+			if gain > bestGain || gain == bestGain && gain > 0 && best >= 0 && fpRate[ri] < fpRate[best] {
+				best, bestGain = ri, gain
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break
+		}
+		u.Members = append(u.Members, pool[best])
+		for i := range matches {
+			if keeps[best][i] {
+				covered[i] = true
+			}
+		}
+	}
+	if len(u.Members) == 0 {
+		return nil, fmt.Errorf("blocker: Learn found no rule within the false-positive budget")
+	}
+	return u, nil
+}

@@ -1,0 +1,114 @@
+package blocker
+
+import (
+	"math/rand"
+	"testing"
+
+	"matchcatcher/internal/table"
+)
+
+// learnFixture builds tables where two rules are each needed to cover all
+// sample matches: half the matches agree on brand, the other half have
+// highly similar titles but missing brands.
+func learnFixture(t *testing.T) (*table.Table, *table.Table, []LabeledPair) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	a := table.MustNew("A", []string{"title", "brand"})
+	b := table.MustNew("B", []string{"title", "brand"})
+	var sample []LabeledPair
+	words := []string{"kor", "mel", "vin", "tra", "sel", "dor", "pla", "che"}
+	phrase := func(n int) string {
+		s := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += " "
+			}
+			s += words[rng.Intn(len(words))] + words[rng.Intn(len(words))]
+		}
+		return s
+	}
+	for i := 0; i < 40; i++ {
+		title := phrase(4)
+		if i%2 == 0 {
+			brand := words[i%len(words)]
+			a.MustAppend([]string{phrase(4), brand})
+			b.MustAppend([]string{phrase(4), brand})
+		} else {
+			a.MustAppend([]string{title, ""})
+			b.MustAppend([]string{title, ""})
+		}
+		sample = append(sample, LabeledPair{A: i, B: i, Match: true})
+	}
+	// Non-matches: random cross pairs.
+	for i := 0; i < 40; i++ {
+		x, y := rng.Intn(40), rng.Intn(40)
+		if x == y {
+			continue
+		}
+		sample = append(sample, LabeledPair{A: x, B: y, Match: false})
+	}
+	return a, b, sample
+}
+
+func TestLearnCoversWithMultipleRules(t *testing.T) {
+	a, b, sample := learnFixture(t)
+	pool := []*Rule{
+		MustParseKeepRule("eq-brand", "attr_equal_brand"),
+		MustParseKeepRule("title-cos", "title_cos_word>=0.9"),
+		MustParseKeepRule("useless", "title_overlap_word>=100"),
+	}
+	u, err := Learn("learned", a, b, sample, pool, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Members) < 2 {
+		t.Fatalf("learned only %v; both rules are needed", u.Members)
+	}
+	// The learned blocker must keep every sample match.
+	c, err := u.Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sample {
+		if p.Match && !c.Contains(p.A, p.B) {
+			t.Errorf("learned blocker kills sample match (%d,%d)", p.A, p.B)
+		}
+	}
+}
+
+func TestLearnRespectsMaxRules(t *testing.T) {
+	a, b, sample := learnFixture(t)
+	pool := []*Rule{
+		MustParseKeepRule("eq-brand", "attr_equal_brand"),
+		MustParseKeepRule("title-cos", "title_cos_word>=0.9"),
+	}
+	u, err := Learn("learned", a, b, sample, pool, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Members) != 1 {
+		t.Errorf("members = %d, want 1", len(u.Members))
+	}
+}
+
+func TestLearnRejectsHighFalsePositiveRules(t *testing.T) {
+	a, b, sample := learnFixture(t)
+	// A rule that keeps everything has fpRate 1 and must be excluded.
+	pool := []*Rule{
+		MustParseKeepRule("keep-all", "title_overlap_word>=0"),
+	}
+	if _, err := Learn("learned", a, b, sample, pool, 3, 0.1); err == nil {
+		t.Error("want error when only rule violates the FP budget")
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	a, b, sample := learnFixture(t)
+	pool := []*Rule{MustParseKeepRule("eq", "attr_equal_brand")}
+	if _, err := Learn("x", a, b, nil, pool, 3, 0.1); err == nil {
+		t.Error("want error for empty sample")
+	}
+	if _, err := Learn("x", a, b, sample, nil, 3, 0.1); err == nil {
+		t.Error("want error for empty pool")
+	}
+}

@@ -1,0 +1,94 @@
+// Package blocker implements the blocking substrate MatchCatcher debugs:
+// the standard blocker types (attribute equivalence, hash, sorted
+// neighborhood, overlap, similarity-based, and rule-based), efficient
+// index-driven execution for each, the candidate-set representation, and a
+// parser for the rule mini-language used to encode the paper's Table 2
+// blockers.
+//
+// A blocker maps two tables A and B to a candidate set C ⊆ A×B of tuple
+// pairs that survive blocking; all other pairs are "killed off". The
+// debugger is blocker independent: it consumes only A, B, and C.
+package blocker
+
+import (
+	"sort"
+)
+
+// Pair identifies a candidate tuple pair by row indices into tables A and B.
+type Pair struct {
+	A, B int
+}
+
+// PairSet is a set of tuple pairs with O(1) membership, the representation
+// of a blocker's output C. The zero value is not ready to use; call
+// NewPairSet.
+type PairSet struct {
+	m map[int64]struct{}
+}
+
+// NewPairSet returns an empty pair set.
+func NewPairSet() *PairSet {
+	return &PairSet{m: make(map[int64]struct{})}
+}
+
+func key(a, b int) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+// Add inserts the pair (a, b).
+func (s *PairSet) Add(a, b int) {
+	s.m[key(a, b)] = struct{}{}
+}
+
+// Contains reports whether the pair (a, b) is in the set.
+func (s *PairSet) Contains(a, b int) bool {
+	if s == nil || s.m == nil {
+		return false
+	}
+	_, ok := s.m[key(a, b)]
+	return ok
+}
+
+// Len returns the number of pairs.
+func (s *PairSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
+
+// Union adds every pair of other into s and returns s.
+func (s *PairSet) Union(other *PairSet) *PairSet {
+	if other != nil {
+		for k := range other.m {
+			s.m[k] = struct{}{}
+		}
+	}
+	return s
+}
+
+// ForEach calls fn for every pair in unspecified order.
+func (s *PairSet) ForEach(fn func(a, b int)) {
+	if s == nil {
+		return
+	}
+	for k := range s.m {
+		fn(int(k>>32), int(int32(uint32(k))))
+	}
+}
+
+// SortedPairs returns all pairs sorted by (A, B), for deterministic output.
+func (s *PairSet) SortedPairs() []Pair {
+	if s == nil {
+		return nil
+	}
+	out := make([]Pair, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, Pair{A: int(k >> 32), B: int(int32(uint32(k)))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

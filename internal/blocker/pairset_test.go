@@ -1,0 +1,98 @@
+package blocker
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPairSetBasics(t *testing.T) {
+	s := NewPairSet()
+	if s.Len() != 0 || s.Contains(1, 2) {
+		t.Fatal("new set not empty")
+	}
+	s.Add(1, 2)
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(1, 2) || !s.Contains(3, 4) || s.Contains(2, 1) {
+		t.Error("membership wrong")
+	}
+}
+
+func TestPairSetNilSafety(t *testing.T) {
+	var s *PairSet
+	if s.Contains(0, 0) {
+		t.Error("nil Contains should be false")
+	}
+	if s.Len() != 0 {
+		t.Error("nil Len should be 0")
+	}
+	if s.SortedPairs() != nil {
+		t.Error("nil SortedPairs should be nil")
+	}
+	s.ForEach(func(a, b int) { t.Error("nil ForEach should not call") })
+}
+
+func TestPairSetUnionAndForEach(t *testing.T) {
+	s := NewPairSet()
+	s.Add(0, 0)
+	o := NewPairSet()
+	o.Add(0, 0)
+	o.Add(5, 6)
+	s.Union(o)
+	if s.Len() != 2 {
+		t.Errorf("union Len = %d, want 2", s.Len())
+	}
+	s.Union(nil) // must not panic
+	count := 0
+	s.ForEach(func(a, b int) { count++ })
+	if count != 2 {
+		t.Errorf("ForEach visited %d, want 2", count)
+	}
+}
+
+func TestPairSetSortedPairs(t *testing.T) {
+	s := NewPairSet()
+	s.Add(2, 1)
+	s.Add(0, 9)
+	s.Add(2, 0)
+	got := s.SortedPairs()
+	want := []Pair{{0, 9}, {2, 0}, {2, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SortedPairs[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: Add/Contains behave like a reference map implementation, and
+// key packing never confuses distinct pairs (within int32 row ranges).
+func TestPairSetMatchesReference(t *testing.T) {
+	f := func(pairs [][2]uint16, probes [][2]uint16) bool {
+		s := NewPairSet()
+		ref := map[[2]int]bool{}
+		for _, p := range pairs {
+			a, b := int(p[0]), int(p[1])
+			s.Add(a, b)
+			ref[[2]int{a, b}] = true
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for _, p := range probes {
+			a, b := int(p[0]), int(p[1])
+			if s.Contains(a, b) != ref[[2]int{a, b}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,365 @@
+package blocker
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"matchcatcher/internal/simfunc"
+	"matchcatcher/internal/tokenize"
+)
+
+// Parse parses the blocker rule mini-language used throughout the paper's
+// Table 2 into an expression tree. The grammar:
+//
+//	expr  := term ("OR" term)*
+//	term  := unary ("AND" unary)*
+//	unary := "NOT" unary | "(" expr ")" | atom
+//	atom  := feature cmp number | feature
+//
+// Features:
+//
+//	attr_equal_<attr>            equality (boolean; bare atom means "equal")
+//	<attr>_jac_<tok>             Jaccard over tokens        (tok: word|3gram)
+//	<attr>_cos_<tok>             cosine over tokens
+//	<attr>_dice_<tok>            Dice over tokens
+//	<attr>_overlapcoeff_<tok>    overlap coefficient over tokens
+//	<attr>_overlap_<tok>         raw common-token count
+//	<attr>_absdiff               |x-y| of numeric values (alias: _abs_diff)
+//	<attr>_editdist              Levenshtein distance (alias: _ed)
+//
+// <attr> may be a plain attribute name (underscores allowed) or a transform
+// application lastword(<attr>) / firstword(<attr>), so the paper's blocker
+// ed(lastword(a.Name), lastword(b.Name)) <= 2 is written
+// "lastword(name)_ed <= 2".
+//
+// Whether the parsed expression keeps or drops pairs is decided by wrapping
+// it in KeepRule or DropRule; Table 2's OL/SIM/R entries are drop rules
+// (the Magellan convention: a firing rule blocks the pair), while its HASH
+// entries are keep conditions.
+func Parse(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("blocker: unexpected trailing input %q", p.peek().text)
+	}
+	return e, nil
+}
+
+// MustParse is like Parse but panics on error; for literal rules in tests
+// and experiment definitions.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokOp
+	tokLParen
+	tokRParen
+	tokAnd
+	tokOr
+	tokNot
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			op := string(c)
+			if i+1 < len(s) && s[i+1] == '=' {
+				op += "="
+				i++
+			}
+			i++
+			if op == "!" {
+				return nil, fmt.Errorf("blocker: stray '!' at offset %d", i-1)
+			}
+			toks = append(toks, token{tokOp, op})
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case isIdentChar(c):
+			j := i
+			for j < len(s) {
+				if isIdentChar(s[j]) {
+					j++
+					continue
+				}
+				// Allow one parenthesized argument inside an identifier,
+				// for transform syntax like lastword(name).
+				if s[j] == '(' {
+					k := j + 1
+					for k < len(s) && isIdentChar(s[k]) {
+						k++
+					}
+					if k < len(s) && s[k] == ')' && k > j+1 {
+						j = k + 1
+						continue
+					}
+				}
+				break
+			}
+			word := s[i:j]
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, token{tokAnd, word})
+			case "OR":
+				toks = append(toks, token{tokOr, word})
+			case "NOT":
+				toks = append(toks, token{tokNot, word})
+			default:
+				toks = append(toks, token{tokIdent, word})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("blocker: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.done() {
+		return token{kind: -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for !p.done() && p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for !p.done() && p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{inner}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("blocker: expected ')', got %q", p.peek().text)
+		}
+		p.next()
+		return inner, nil
+	case tokIdent:
+		return p.parseAtom()
+	}
+	return nil, fmt.Errorf("blocker: expected expression, got %q", p.peek().text)
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	ident := p.next().text
+	feat, err := parseFeature(ident)
+	if err != nil {
+		return nil, err
+	}
+	if p.done() || p.peek().kind != tokOp {
+		// Bare boolean atom: equality features default to "is equal".
+		if feat.Kind == FeatEqual {
+			return Atom{Feature: feat, Op: OpEQ, Value: 1}, nil
+		}
+		return nil, fmt.Errorf("blocker: feature %q needs a comparison", ident)
+	}
+	opTok := p.next().text
+	var op CmpOp
+	switch opTok {
+	case "<":
+		op = OpLT
+	case "<=":
+		op = OpLE
+	case ">":
+		op = OpGT
+	case ">=":
+		op = OpGE
+	case "=", "==":
+		op = OpEQ
+	case "!=":
+		op = OpNE
+	default:
+		return nil, fmt.Errorf("blocker: unknown operator %q", opTok)
+	}
+	if p.peek().kind != tokNumber {
+		return nil, fmt.Errorf("blocker: expected number after %q %s", ident, opTok)
+	}
+	v, err := strconv.ParseFloat(p.next().text, 64)
+	if err != nil {
+		return nil, fmt.Errorf("blocker: bad number in atom %q: %w", ident, err)
+	}
+	return Atom{Feature: feat, Op: op, Value: v}, nil
+}
+
+// parseFeature decodes a feature identifier. Attribute names may contain
+// underscores, so suffixes are matched from the right.
+func parseFeature(ident string) (Feature, error) {
+	if rest, ok := strings.CutPrefix(ident, "attr_equal_"); ok {
+		attr, tr, err := parseAttrRef(rest)
+		if err != nil {
+			return Feature{}, err
+		}
+		return Feature{Attr: attr, Transform: tr, Kind: FeatEqual}, nil
+	}
+	for _, suf := range []string{"_absdiff", "_abs_diff"} {
+		if rest, ok := strings.CutSuffix(ident, suf); ok {
+			attr, tr, err := parseAttrRef(rest)
+			if err != nil {
+				return Feature{}, err
+			}
+			return Feature{Attr: attr, Transform: tr, Kind: FeatAbsDiff}, nil
+		}
+	}
+	for _, suf := range []string{"_editdist", "_ed"} {
+		if rest, ok := strings.CutSuffix(ident, suf); ok {
+			attr, tr, err := parseAttrRef(rest)
+			if err != nil {
+				return Feature{}, err
+			}
+			return Feature{Attr: attr, Transform: tr, Kind: FeatEditDist}, nil
+		}
+	}
+	// _jw before _jaro so neither shadows the other by substring.
+	for suf, kind := range map[string]FeatureKind{"_jw": FeatJaroWinkler, "_jaro": FeatJaro} {
+		if rest, ok := strings.CutSuffix(ident, suf); ok {
+			attr, tr, err := parseAttrRef(rest)
+			if err != nil {
+				return Feature{}, err
+			}
+			return Feature{Attr: attr, Transform: tr, Kind: kind}, nil
+		}
+	}
+	// <attr>_<measure>_<tok>
+	lastUnd := strings.LastIndexByte(ident, '_')
+	if lastUnd < 0 {
+		return Feature{}, fmt.Errorf("blocker: unrecognized feature %q", ident)
+	}
+	tok, tokOK := tokenize.ByName(ident[lastUnd+1:])
+	if !tokOK {
+		return Feature{}, fmt.Errorf("blocker: unrecognized feature %q (unknown tokenizer %q)", ident, ident[lastUnd+1:])
+	}
+	head := ident[:lastUnd]
+	midUnd := strings.LastIndexByte(head, '_')
+	if midUnd < 0 {
+		return Feature{}, fmt.Errorf("blocker: feature %q is missing a measure", ident)
+	}
+	measureName := head[midUnd+1:]
+	attrRef := head[:midUnd]
+	attr, tr, err := parseAttrRef(attrRef)
+	if err != nil {
+		return Feature{}, err
+	}
+	if measureName == "overlap" {
+		return Feature{Attr: attr, Transform: tr, Kind: FeatOverlapCount, Tok: tok}, nil
+	}
+	if measureName == "overlapcoeff" {
+		return Feature{Attr: attr, Transform: tr, Kind: FeatSetSim, Measure: simfunc.Overlap, Tok: tok}, nil
+	}
+	m, ok := simfunc.MeasureByName(measureName)
+	if !ok {
+		return Feature{}, fmt.Errorf("blocker: unknown measure %q in feature %q", measureName, ident)
+	}
+	return Feature{Attr: attr, Transform: tr, Kind: FeatSetSim, Measure: m, Tok: tok}, nil
+}
+
+// parseAttrRef decodes "attr", "lastword(attr)", or "firstword(attr)".
+func parseAttrRef(s string) (attr string, tr Transform, err error) {
+	for name, t := range map[string]Transform{"lastword": TransformLastWord, "firstword": TransformFirstWord} {
+		if inner, ok := strings.CutPrefix(s, name+"("); ok {
+			inner, ok = strings.CutSuffix(inner, ")")
+			if !ok || inner == "" {
+				return "", TransformNone, fmt.Errorf("blocker: malformed transform in %q", s)
+			}
+			return inner, t, nil
+		}
+	}
+	if s == "" || strings.ContainsAny(s, "()") {
+		return "", TransformNone, fmt.Errorf("blocker: malformed attribute reference %q", s)
+	}
+	return s, TransformNone, nil
+}

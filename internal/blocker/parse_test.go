@@ -1,0 +1,210 @@
+package blocker
+
+import (
+	"strings"
+	"testing"
+
+	"matchcatcher/internal/simfunc"
+)
+
+func TestParseTable2Blockers(t *testing.T) {
+	// Every blocker expression from the paper's Table 2 must parse.
+	exprs := []string{
+		"title_overlap_word<3",
+		"attr_equal_manuf",
+		"title_cos_word<0.4",
+		"title_jac_word<0.2 AND manuf_jac_3gram<0.4",
+		"attr_equal_brand",
+		"price_absdiff>20 OR title_jac_word<0.5",
+		"authors_overlap_word<2",
+		"title_jac_3gram<0.7",
+		"title_cos_word<0.8 AND authors_jac_3gram<0.8",
+		"year_abs_diff>0.5 OR title_jac_word<0.7",
+		"name_overlap_word<2",
+		"attr_equal_city",
+		"addr_jac_3gram<0.3",
+		"(name_cos_word<0.5 AND type_jac_3gram<0.7) OR addr_jac_3gram<0.3",
+		"artist_name_overlap_word<2",
+		"attr_equal_artist_name",
+		"title_cos_word<0.5",
+		"year_absdiff>0.5 OR title_cos_word<0.7",
+		"attr_equal_release OR attr_equal_artist_name",
+		"title_cos_word<0.6",
+		"title_cos_word<0.7",
+		"title_cos_word<0.8",
+	}
+	for _, src := range exprs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseFeatureDecoding(t *testing.T) {
+	cases := []struct {
+		src       string
+		attr      string
+		kind      FeatureKind
+		measure   simfunc.SetMeasure
+		tokName   string
+		transform Transform
+	}{
+		{"title_jac_word<0.2", "title", FeatSetSim, simfunc.Jaccard, "word", TransformNone},
+		{"manuf_jac_3gram<0.4", "manuf", FeatSetSim, simfunc.Jaccard, "3gram", TransformNone},
+		{"artist_name_overlap_word<2", "artist_name", FeatOverlapCount, 0, "word", TransformNone},
+		{"name_overlapcoeff_word>0.5", "name", FeatSetSim, simfunc.Overlap, "word", TransformNone},
+		{"release_dice_word>=0.3", "release", FeatSetSim, simfunc.Dice, "word", TransformNone},
+		{"price_absdiff>20", "price", FeatAbsDiff, 0, "", TransformNone},
+		{"year_abs_diff>0.5", "year", FeatAbsDiff, 0, "", TransformNone},
+		{"name_editdist<=2", "name", FeatEditDist, 0, "", TransformNone},
+		{"lastword(name)_ed<=2", "name", FeatEditDist, 0, "", TransformLastWord},
+		{"attr_equal_artist_name", "artist_name", FeatEqual, 0, "", TransformNone},
+		{"attr_equal_lastword(name)", "name", FeatEqual, 0, "", TransformLastWord},
+		{"attr_equal_firstword(name)", "name", FeatEqual, 0, "", TransformFirstWord},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		at, ok := e.(Atom)
+		if !ok {
+			t.Errorf("Parse(%q) = %T, want Atom", c.src, e)
+			continue
+		}
+		f := at.Feature
+		if f.Attr != c.attr || f.Kind != c.kind || f.Transform != c.transform {
+			t.Errorf("Parse(%q) feature = %+v", c.src, f)
+		}
+		if c.kind == FeatSetSim && f.Measure != c.measure {
+			t.Errorf("Parse(%q) measure = %v, want %v", c.src, f.Measure, c.measure)
+		}
+		if c.tokName != "" && f.Tok.Name() != c.tokName {
+			t.Errorf("Parse(%q) tokenizer = %v, want %v", c.src, f.Tok.Name(), c.tokName)
+		}
+	}
+}
+
+func TestParsePrecedenceAndGrouping(t *testing.T) {
+	// AND binds tighter than OR.
+	e, err := Parse("a_absdiff<1 OR b_absdiff<2 AND c_absdiff<3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := e.(Or)
+	if !ok {
+		t.Fatalf("top node = %T, want Or", e)
+	}
+	if _, ok := or.R.(And); !ok {
+		t.Errorf("right of OR = %T, want And", or.R)
+	}
+	// Parentheses override.
+	e2, err := Parse("(a_absdiff<1 OR b_absdiff<2) AND c_absdiff<3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e2.(And); !ok {
+		t.Fatalf("top node = %T, want And", e2)
+	}
+	// NOT.
+	e3, err := Parse("NOT a_absdiff<1 AND b_absdiff<2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := e3.(And)
+	if !ok {
+		t.Fatalf("top = %T", e3)
+	}
+	if _, ok := and.L.(Not); !ok {
+		t.Errorf("left = %T, want Not", and.L)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("a_absdiff<1 or b_absdiff<2 and not c_absdiff<3"); err != nil {
+		t.Errorf("lowercase keywords: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"title_jac_word",          // sim feature needs comparison
+		"title_jac_word <",        // missing number
+		"title_jac_word < x",      // non-numeric
+		"bogus",                   // unknown feature, no comparison
+		"title_jac_bogus < 1",     // unknown tokenizer
+		"title_hamming_word < 1",  // unknown measure
+		"(a_absdiff<1",            // unbalanced paren
+		"a_absdiff<1 b_absdiff<2", // missing connective
+		"AND a_absdiff<1",         // dangling keyword
+		"a_absdiff ! 1",           // stray bang
+		"attr_equal_lastword()",   // malformed transform
+		"title_jac_word << 1",     // bad op (lexes <, < then fails)
+		"@title_jac_word<1",       // bad char
+		"a_absdiff<1 AND",         // trailing connective
+		"lastword(x)y_jac_word<1", // attr ref with stray parens
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestParseRoundTripsThroughString(t *testing.T) {
+	srcs := []string{
+		"price_absdiff>20 OR title_jac_word<0.5",
+		"(name_cos_word<0.5 AND type_jac_3gram<0.7) OR addr_jac_3gram<0.3",
+		"NOT attr_equal_city",
+		"lastword(name)_ed<=2",
+	}
+	for _, src := range srcs {
+		e1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, e1.String(), err)
+		}
+		if !strings.EqualFold(normalizeStr(e1.String()), normalizeStr(e2.String())) {
+			t.Errorf("round trip changed: %q -> %q", e1.String(), e2.String())
+		}
+	}
+}
+
+func normalizeStr(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+func TestParseJaroFeatures(t *testing.T) {
+	e, err := Parse("name_jw>=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := e.(Atom)
+	if at.Feature.Kind != FeatJaroWinkler || at.Feature.Attr != "name" {
+		t.Errorf("feature = %+v", at.Feature)
+	}
+	e2, err := Parse("lastword(name)_jaro<0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at2 := e2.(Atom)
+	if at2.Feature.Kind != FeatJaro || at2.Feature.Transform != TransformLastWord {
+		t.Errorf("feature = %+v", at2.Feature)
+	}
+	// String round trip.
+	if got := at.String(); got != "name_jw>=0.9" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package blocker
+
+import (
+	"strings"
+
+	"matchcatcher/internal/table"
+	"matchcatcher/internal/tokenize"
+)
+
+// Soundex computes the American Soundex code of a word (the classic
+// phonetic hash: first letter plus three digits, e.g. "robert" -> "R163").
+// Non-ASCII-letter input yields "" (no code, joins with nothing).
+func Soundex(word string) string {
+	w := strings.ToUpper(strings.TrimSpace(word))
+	// Find the first letter.
+	start := -1
+	for i := 0; i < len(w); i++ {
+		if w[i] >= 'A' && w[i] <= 'Z' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return ""
+	}
+	code := func(c byte) byte {
+		switch c {
+		case 'B', 'F', 'P', 'V':
+			return '1'
+		case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+			return '2'
+		case 'D', 'T':
+			return '3'
+		case 'L':
+			return '4'
+		case 'M', 'N':
+			return '5'
+		case 'R':
+			return '6'
+		}
+		return 0 // vowels, H, W, Y, and non-letters
+	}
+	out := []byte{w[start]}
+	prev := code(w[start])
+	for i := start + 1; i < len(w) && len(out) < 4; i++ {
+		c := w[i]
+		if c < 'A' || c > 'Z' {
+			prev = 0
+			continue
+		}
+		d := code(c)
+		// H and W are transparent: they do not reset the previous code.
+		if c == 'H' || c == 'W' {
+			continue
+		}
+		if d == 0 {
+			prev = 0
+			continue
+		}
+		if d != prev {
+			out = append(out, d)
+		}
+		prev = d
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+// SoundexKey returns a KeyFunc hashing on the Soundex codes of the words
+// of attr, enabling phonetic blocking (Section 2's "phonetic (e.g.,
+// soundex)" blocker type): tuples block together when their names sound
+// alike, e.g. "Smith" and "Smyth".
+func SoundexKey(attr string) KeyFunc {
+	return func(t *table.Table, row int) string {
+		v, _ := t.ValueByName(row, attr)
+		words := tokenize.Words(v)
+		if len(words) == 0 {
+			return ""
+		}
+		codes := make([]string, 0, len(words))
+		for _, w := range words {
+			if c := Soundex(w); c != "" {
+				codes = append(codes, c)
+			}
+		}
+		return strings.Join(codes, " ")
+	}
+}
+
+// NewPhonetic returns a phonetic (Soundex) blocker on attr.
+func NewPhonetic(attr string) *Hash {
+	return &Hash{ID: "soundex_" + attr, Key: SoundexKey(attr)}
+}

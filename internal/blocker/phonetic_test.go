@@ -1,0 +1,154 @@
+package blocker
+
+import (
+	"testing"
+
+	"matchcatcher/internal/table"
+)
+
+func TestSoundexKnownCodes(t *testing.T) {
+	// Classic reference values for American Soundex.
+	cases := map[string]string{
+		"Robert":   "R163",
+		"Rupert":   "R163",
+		"Ashcraft": "A261", // H transparent between S and C
+		"Ashcroft": "A261",
+		"Tymczak":  "T522",
+		"Pfister":  "P236",
+		"Honeyman": "H555",
+		"Smith":    "S530",
+		"Smyth":    "S530",
+		"Williams": "W452",
+		"William":  "W450",
+		"Lee":      "L000",
+		"":         "",
+		"123":      "",
+		"  Gauss ": "G200",
+	}
+	for in, want := range cases {
+		if got := Soundex(in); got != want {
+			t.Errorf("Soundex(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPhoneticBlocker(t *testing.T) {
+	a := table.MustNew("A", []string{"name"})
+	a.MustAppend([]string{"John Smith"})
+	a.MustAppend([]string{"Mary Jones"})
+	a.MustAppend([]string{""})
+	b := table.MustNew("B", []string{"name"})
+	b.MustAppend([]string{"Jon Smyth"}) // sounds like John Smith
+	b.MustAppend([]string{"Marie Johnson"})
+	p := NewPhonetic("name")
+	got := pairsOf(t, p, a, b)
+	if !got[(Pair{0, 0})] {
+		t.Error("phonetic blocker should pair John Smith with Jon Smyth")
+	}
+	if got[(Pair{1, 0})] || got[(Pair{2, 0})] {
+		t.Errorf("unexpected pairs: %v", got)
+	}
+}
+
+func TestSuffixArrayBlocker(t *testing.T) {
+	a := table.MustNew("A", []string{"name"})
+	a.MustAppend([]string{"megastore downtown"}) // suffixes include "town"
+	a.MustAppend([]string{"xy"})                 // too short
+	b := table.MustNew("B", []string{"name"})
+	b.MustAppend([]string{"store downtown"}) // shares long suffix
+	b.MustAppend([]string{"unrelated"})
+	s := NewSuffixArray("name")
+	got := pairsOf(t, s, a, b)
+	if !got[(Pair{0, 0})] {
+		t.Errorf("suffix blocker missed the shared-suffix pair: %v", got)
+	}
+	if got[(Pair{0, 1})] {
+		t.Error("unrelated pair blocked")
+	}
+}
+
+func TestSuffixArrayBucketPrune(t *testing.T) {
+	// Every tuple ends in the same common suffix; a small MaxBucket must
+	// prune that bucket entirely.
+	a := table.MustNew("A", []string{"name"})
+	b := table.MustNew("B", []string{"name"})
+	for i := 0; i < 10; i++ {
+		a.MustAppend([]string{string(rune('a'+i)) + "zzcommon"})
+		b.MustAppend([]string{string(rune('p'+i)) + "yycommon"})
+	}
+	s := &SuffixArray{ID: "s", Key: AttrKey("name"), MinSuffix: 4, MaxBucket: 5}
+	c, err := s.Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("common-suffix bucket not pruned: %d pairs", c.Len())
+	}
+	// With a large budget the pairs appear.
+	s.MaxBucket = 1000
+	c, err = s.Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 {
+		t.Error("no pairs despite shared suffix and large budget")
+	}
+}
+
+func TestSuffixArrayValidation(t *testing.T) {
+	a := table.MustNew("A", []string{"x"})
+	b := table.MustNew("B", []string{"x"})
+	if _, err := (&SuffixArray{ID: "s"}).Block(a, b); err == nil {
+		t.Error("want error for nil key")
+	}
+}
+
+func TestCanopyBlocker(t *testing.T) {
+	a := table.MustNew("A", []string{"name"})
+	a.MustAppend([]string{"alpha beta gamma"})
+	a.MustAppend([]string{"delta epsilon zeta"})
+	b := table.MustNew("B", []string{"name"})
+	b.MustAppend([]string{"alpha beta gamma extra"}) // same canopy as a0
+	b.MustAppend([]string{"delta epsilon eta"})      // same canopy as a1
+	b.MustAppend([]string{"omega psi chi"})          // its own canopy
+	c := NewCanopy("name")
+	got := pairsOf(t, c, a, b)
+	if !got[(Pair{0, 0})] {
+		t.Error("canopy missed (a0,b0)")
+	}
+	if !got[(Pair{1, 1})] {
+		t.Error("canopy missed (a1,b1)")
+	}
+	if got[(Pair{0, 2})] || got[(Pair{1, 2})] {
+		t.Errorf("cross-canopy pair blocked: %v", got)
+	}
+}
+
+func TestCanopyValidation(t *testing.T) {
+	a := table.MustNew("A", []string{"x"})
+	b := table.MustNew("B", []string{"x"})
+	bad := &Canopy{ID: "c", Attr: "x", Tight: 0.2, Loose: 0.5}
+	if _, err := bad.Block(a, b); err == nil {
+		t.Error("want error when loose > tight")
+	}
+	missing := NewCanopy("nope")
+	if _, err := missing.Block(a, b); err == nil {
+		t.Error("want error for missing attribute")
+	}
+}
+
+// TestNewBlockerTypesWithDebugger: the debugger is blocker independent, so
+// the new types plug straight in.
+func TestNewBlockerTypesWithDebugger(t *testing.T) {
+	a := table.MustNew("A", []string{"name"})
+	a.MustAppend([]string{"john smith"})
+	a.MustAppend([]string{"mary jones"})
+	b := table.MustNew("B", []string{"name"})
+	b.MustAppend([]string{"jon smyth"})
+	b.MustAppend([]string{"marie johnson"})
+	for _, q := range []Blocker{NewPhonetic("name"), NewSuffixArray("name"), NewCanopy("name")} {
+		if _, err := q.Block(a, b); err != nil {
+			t.Errorf("%s: %v", q.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package blocker
+
+import (
+	"fmt"
+
+	"matchcatcher/internal/table"
+	"matchcatcher/internal/tokenize"
+)
+
+// SuffixArray implements suffix-array blocking (Section 2's list): each
+// tuple's key contributes all suffixes of length at least MinSuffix; two
+// tuples block together when they share a suffix, unless the suffix is so
+// common that its bucket exceeds MaxBucket (the standard frequency prune
+// that keeps very short/common suffixes from flooding the output).
+type SuffixArray struct {
+	ID        string
+	Key       KeyFunc
+	MinSuffix int // minimum suffix length in characters (default 4)
+	MaxBucket int // drop suffix buckets larger than this (default 50)
+}
+
+// NewSuffixArray returns a suffix-array blocker on the normalized value of
+// attr with the standard defaults.
+func NewSuffixArray(attr string) *SuffixArray {
+	return &SuffixArray{ID: "suffix_" + attr, Key: AttrKey(attr)}
+}
+
+// Name implements Blocker.
+func (s *SuffixArray) Name() string { return s.ID }
+
+// Block implements Blocker.
+func (s *SuffixArray) Block(a, b *table.Table) (*PairSet, error) {
+	if s.Key == nil {
+		return nil, fmt.Errorf("blocker %s: nil key function", s.ID)
+	}
+	minLen := s.MinSuffix
+	if minLen <= 0 {
+		minLen = 4
+	}
+	maxBucket := s.MaxBucket
+	if maxBucket <= 0 {
+		maxBucket = 50
+	}
+	type bucket struct {
+		a, b []int
+	}
+	buckets := map[string]*bucket{}
+	add := func(t *table.Table, row int, sideA bool) {
+		key := tokenize.Normalize(s.Key(t, row))
+		if key == "" {
+			return
+		}
+		r := []rune(key)
+		if len(r) < minLen {
+			return
+		}
+		for start := 0; start+minLen <= len(r); start++ {
+			suf := string(r[start:])
+			bk := buckets[suf]
+			if bk == nil {
+				bk = &bucket{}
+				buckets[suf] = bk
+			}
+			if sideA {
+				bk.a = append(bk.a, row)
+			} else {
+				bk.b = append(bk.b, row)
+			}
+		}
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		add(a, i, true)
+	}
+	for j := 0; j < b.NumRows(); j++ {
+		add(b, j, false)
+	}
+	out := NewPairSet()
+	for _, bk := range buckets {
+		if len(bk.a)+len(bk.b) > maxBucket {
+			continue
+		}
+		for _, ra := range bk.a {
+			for _, rb := range bk.b {
+				out.Add(ra, rb)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Canopy implements canopy-clustering blocking (Section 2's list): tuples
+// are greedily grouped into canopies around randomly ordered seed tuples
+// using a cheap token-overlap distance; a pair survives when both tuples
+// fall in a common canopy. Loose must not be smaller than Tight.
+type Canopy struct {
+	ID    string
+	Attr  string
+	Tight float64 // tuples this similar to the seed leave the pool (default 0.6)
+	Loose float64 // tuples this similar join the canopy (default 0.3)
+}
+
+// NewCanopy returns a canopy blocker over word-level Jaccard on attr.
+func NewCanopy(attr string) *Canopy {
+	return &Canopy{ID: "canopy_" + attr, Attr: attr, Tight: 0.6, Loose: 0.3}
+}
+
+// Name implements Blocker.
+func (c *Canopy) Name() string { return c.ID }
+
+// Block implements Blocker.
+func (c *Canopy) Block(a, b *table.Table) (*PairSet, error) {
+	if c.Loose > c.Tight {
+		return nil, fmt.Errorf("blocker %s: loose threshold %g exceeds tight %g", c.ID, c.Loose, c.Tight)
+	}
+	type rec struct {
+		side int // 0 = A, 1 = B
+		row  int
+		toks []string
+	}
+	var recs []rec
+	ja := a.AttrIndex(c.Attr)
+	jb := b.AttrIndex(c.Attr)
+	if ja < 0 || jb < 0 {
+		return nil, fmt.Errorf("blocker %s: attribute %q missing from a schema", c.ID, c.Attr)
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		recs = append(recs, rec{0, i, tokenize.WordSet(a.Value(i, ja))})
+	}
+	for j := 0; j < b.NumRows(); j++ {
+		recs = append(recs, rec{1, j, tokenize.WordSet(b.Value(j, jb))})
+	}
+	// Inverted index for cheap candidate lookup per seed.
+	idx := map[string][]int{}
+	for i, r := range recs {
+		for _, tok := range r.toks {
+			idx[tok] = append(idx[tok], i)
+		}
+	}
+	inPool := make([]bool, len(recs))
+	for i := range inPool {
+		inPool[i] = true
+	}
+	out := NewPairSet()
+	// Deterministic seed order: records as given (the classic algorithm
+	// picks random seeds; fixed order keeps runs reproducible).
+	counts := map[int]int{}
+	for seed := range recs {
+		if !inPool[seed] {
+			continue
+		}
+		inPool[seed] = false
+		st := recs[seed]
+		if len(st.toks) == 0 {
+			continue
+		}
+		clear(counts)
+		for _, tok := range st.toks {
+			for _, i := range idx[tok] {
+				counts[i]++
+			}
+		}
+		var canopyA, canopyB []int
+		if st.side == 0 {
+			canopyA = append(canopyA, st.row)
+		} else {
+			canopyB = append(canopyB, st.row)
+		}
+		for i, o := range counts {
+			if i == seed {
+				continue
+			}
+			r := recs[i]
+			sim := float64(o) / float64(len(st.toks)+len(r.toks)-o)
+			if sim < c.Loose {
+				continue
+			}
+			if r.side == 0 {
+				canopyA = append(canopyA, r.row)
+			} else {
+				canopyB = append(canopyB, r.row)
+			}
+			if sim >= c.Tight {
+				inPool[i] = false
+			}
+		}
+		for _, ra := range canopyA {
+			for _, rb := range canopyB {
+				out.Add(ra, rb)
+			}
+		}
+	}
+	return out, nil
+}

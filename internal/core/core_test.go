@@ -1,0 +1,203 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/datagen"
+	"matchcatcher/internal/oracle"
+	"matchcatcher/internal/ranker"
+	"matchcatcher/internal/table"
+)
+
+// figure1 builds the running example of the paper: tables A and B of
+// Figure 1, blocker Q1 (attribute equivalence on City), and the gold
+// matches (a1,b1), (a2,b3), (a3,b2), (a4,b4).
+func figure1(t *testing.T) (*table.Table, *table.Table, *blocker.PairSet, *blocker.PairSet) {
+	t.Helper()
+	a := table.MustNew("A", []string{"Name", "City", "Age"})
+	a.MustAppend([]string{"Dave Smith", "Altanta", "18"})
+	a.MustAppend([]string{"Daniel Smith", "LA", "18"})
+	a.MustAppend([]string{"Joe Welson", "New York", "25"})
+	a.MustAppend([]string{"Charles Williams", "Chicago", "45"})
+	a.MustAppend([]string{"Charlie William", "Atlanta", "28"})
+	b := table.MustNew("B", []string{"Name", "City", "Age"})
+	b.MustAppend([]string{"David Smith", "Atlanta", "18"})
+	b.MustAppend([]string{"Joe Wilson", "NY", "25"})
+	b.MustAppend([]string{"Daniel W. Smith", "LA", "30"})
+	b.MustAppend([]string{"Charles Williams", "Chicago", "45"})
+	c, err := blocker.NewAttrEquivalence("City").Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := blocker.NewPairSet()
+	gold.Add(0, 0)
+	gold.Add(1, 2)
+	gold.Add(2, 1)
+	gold.Add(3, 3)
+	return a, b, c, gold
+}
+
+// TestFigure1Scenario reproduces Example 1.1: debugging Q1 must surface
+// exactly the two killed-off matches (a1,b1) and (a3,b2).
+func TestFigure1Scenario(t *testing.T) {
+	a, b, c, gold := figure1(t)
+	d, err := New(a, b, c, Options{Verifier: ranker.Options{N: 3, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age is numeric and must be dropped; Name and City survive.
+	if got := d.Configs().Promising; len(got) != 2 {
+		t.Fatalf("promising = %v", got)
+	}
+	if got := len(d.Lists()); got != 3 { // {Name,City}, {Name}, {City}
+		t.Errorf("lists = %d, want 3", got)
+	}
+	u := oracle.New(gold, 0, 1)
+	res := d.Run(u.Label)
+	found := map[blocker.Pair]bool{}
+	for _, p := range res.Matches {
+		found[p] = true
+	}
+	if !found[(blocker.Pair{A: 0, B: 0})] {
+		t.Error("missed killed-off match (a1,b1)")
+	}
+	if !found[(blocker.Pair{A: 2, B: 1})] {
+		t.Error("missed killed-off match (a3,b2)")
+	}
+	if len(found) != 2 {
+		t.Errorf("matches = %v, want exactly the two killed-off matches", res.Matches)
+	}
+	// Pairs surviving the blocker must never appear in E.
+	e := d.Candidates()
+	c.ForEach(func(x, y int) {
+		if e.Contains(x, y) {
+			t.Errorf("pair (%d,%d) from C leaked into E", x, y)
+		}
+	})
+}
+
+func TestExplainFigure1(t *testing.T) {
+	a, b, c, _ := figure1(t)
+	d, err := New(a, b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a1,b1): City misspelt "Altanta" vs "Atlanta", Name near-match.
+	ex := d.Explain(blocker.Pair{A: 0, B: 0})
+	joined := strings.Join(ex.Notes, "; ")
+	if !strings.Contains(joined, "City: misspelling") {
+		t.Errorf("explanation misses City misspelling: %v", ex.Notes)
+	}
+	// (a3,b2): City "New York" vs "NY" — abbreviation or disjoint-ish;
+	// Name "Welson" vs "Wilson" misspelling.
+	ex2 := d.Explain(blocker.Pair{A: 2, B: 1})
+	joined2 := strings.Join(ex2.Notes, "; ")
+	if !strings.Contains(joined2, "Name: misspelling") {
+		t.Errorf("explanation misses Name misspelling: %v", ex2.Notes)
+	}
+	if !strings.Contains(joined2, "City: abbreviation") {
+		t.Errorf("explanation misses City abbreviation: %v", ex2.Notes)
+	}
+}
+
+func TestProblemSummary(t *testing.T) {
+	a, b, c, _ := figure1(t)
+	d, err := New(a, b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := []blocker.Pair{{A: 0, B: 0}, {A: 2, B: 1}}
+	counts := d.ProblemCount(matches)
+	if counts["City: misspelling"] != 1 || counts["City: abbreviation"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	top := d.TopProblems(matches, 2)
+	if len(top) != 2 {
+		t.Errorf("top problems = %v", top)
+	}
+}
+
+func TestDiagnoseKinds(t *testing.T) {
+	cases := []struct {
+		va, vb string
+		want   Problem
+	}{
+		{"atlanta", "atlanta", ProblemNone},
+		{"", "atlanta", ProblemMissing},
+		{"altanta", "atlanta", ProblemMisspelling},
+		{"new york", "ny", ProblemAbbreviation},
+		{"dave smith", "dave frederic smith", ProblemWordSubset},
+		{"dave smith", "dave jones", ProblemPartial},
+		{"alpha", "omega", ProblemDisjoint},
+	}
+	for _, c := range cases {
+		if got := diagnose("x", c.va, c.vb).Problem; got != c.want {
+			t.Errorf("diagnose(%q,%q) = %v, want %v", c.va, c.vb, got, c.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil, Options{}); err == nil {
+		t.Error("want error for nil tables")
+	}
+	a := table.MustNew("A", []string{"x"})
+	b := table.MustNew("B", []string{"y"})
+	if _, err := New(a, b, nil, Options{}); err == nil {
+		t.Error("want error for disjoint schemas")
+	}
+}
+
+// TestEndToEndFodorsZagats debugs a real blocker on the F-Z profile: the
+// debugger must recover a large share of the matches the blocker killed
+// (the Table 3 F-Z rows recover 92-100%).
+func TestEndToEndFodorsZagats(t *testing.T) {
+	d := datagen.MustGenerate(datagen.FodorsZagats())
+	c, err := blocker.NewAttrEquivalence("city").Block(d.A, d.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := d.KilledMatches(c)
+	if len(killed) == 0 {
+		t.Skip("blocker killed nothing on this profile")
+	}
+	dbg, err := New(d.A, d.B, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := oracle.New(d.Gold, 0, 2)
+	res := dbg.Run(u.Label)
+	// Every reported match is a true killed-off match.
+	for _, p := range res.Matches {
+		if !d.Gold.Contains(p.A, p.B) {
+			t.Errorf("false positive match %v", p)
+		}
+		if c.Contains(p.A, p.B) {
+			t.Errorf("match %v was not killed off", p)
+		}
+	}
+	if got := len(res.Matches); got*2 < len(killed) {
+		t.Errorf("recovered %d of %d killed matches", got, len(killed))
+	}
+	if dbg.CandidateCount() == 0 {
+		t.Error("E is empty")
+	}
+}
+
+func TestRowRendering(t *testing.T) {
+	a, b, c, _ := figure1(t)
+	d, err := New(a, b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := d.RowA(0)
+	joined := strings.Join(row, " ")
+	if !strings.Contains(joined, "Name=Dave Smith") || !strings.Contains(joined, "City=Altanta") {
+		t.Errorf("RowA = %v", row)
+	}
+	if got := strings.Join(d.RowB(0), " "); !strings.Contains(got, "David Smith") {
+		t.Errorf("RowB = %v", got)
+	}
+}

@@ -1,0 +1,120 @@
+// Package core assembles MatchCatcher's pipeline (Figure 2 of the paper):
+// the Config Generator examines tables A and B; the joint top-k SSJ module
+// finds, per config, the k killed-off pairs most similar under that
+// config; and the Match Verifier engages the user over E (the union of the
+// top-k lists) with rank aggregation and active/online learning until the
+// stopping condition.
+//
+// The debugger is blocker independent: it takes only A, B, and the
+// blocker's output C, never the blocker itself.
+package core
+
+import (
+	"fmt"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/config"
+	"matchcatcher/internal/feature"
+	"matchcatcher/internal/ranker"
+	"matchcatcher/internal/ssjoin"
+	"matchcatcher/internal/table"
+)
+
+// Options configures the three pipeline stages.
+type Options struct {
+	Config   config.Options
+	Join     ssjoin.Options
+	Verifier ranker.Options
+}
+
+// Debugger is one debugging session for a blocker's output.
+type Debugger struct {
+	a, b *table.Table
+	c    *blocker.PairSet
+
+	res   *config.Result
+	cor   *ssjoin.Corpus
+	join  *ssjoin.JoinResult
+	ext   *feature.Extractor
+	verif *ranker.Verifier
+}
+
+// New builds a debugging session: it generates configs, runs the joint
+// top-k SSJs against the candidate set c, and prepares the verifier.
+func New(a, b *table.Table, c *blocker.PairSet, opt Options) (*Debugger, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("core: both tables are required")
+	}
+	res, err := config.Generate(a, b, opt.Config)
+	if err != nil {
+		return nil, fmt.Errorf("core: config generation: %w", err)
+	}
+	cor := ssjoin.NewCorpus(a, b, res)
+	join := ssjoin.JoinAll(cor, c, opt.Join)
+	ext := feature.NewExtractor(cor)
+	verif := ranker.NewVerifier(join.Lists, ext.Vector, opt.Verifier)
+	return &Debugger{a: a, b: b, c: c, res: res, cor: cor, join: join, ext: ext, verif: verif}, nil
+}
+
+// Configs returns the config generation result.
+func (d *Debugger) Configs() *config.Result { return d.res }
+
+// Lists returns the per-config top-k lists in breadth-first order.
+func (d *Debugger) Lists() []ssjoin.TopKList { return d.join.Lists }
+
+// JoinStats returns the joint executor's statistics.
+func (d *Debugger) JoinStats() ssjoin.Stats { return d.join.Stats }
+
+// CandidateCount returns |E|, the number of distinct pairs across lists.
+func (d *Debugger) CandidateCount() int { return d.verif.NumCandidates() }
+
+// Candidates returns E as a pair set.
+func (d *Debugger) Candidates() *blocker.PairSet {
+	e := blocker.NewPairSet()
+	for _, l := range d.join.Lists {
+		for _, p := range l.Pairs {
+			e.Add(int(p.A), int(p.B))
+		}
+	}
+	return e
+}
+
+// Next returns the next batch of pairs for the user to inspect (at most
+// Verifier.N), or nil when the session has reached its stopping condition.
+func (d *Debugger) Next() []blocker.Pair { return d.verif.Next() }
+
+// Feedback records the user's labels for the pairs of the last Next call.
+func (d *Debugger) Feedback(labels []bool) error { return d.verif.Feedback(labels) }
+
+// Done reports whether the stopping condition has been reached.
+func (d *Debugger) Done() bool { return d.verif.Done() }
+
+// Matches returns the killed-off true matches confirmed so far.
+func (d *Debugger) Matches() []blocker.Pair { return d.verif.Matches() }
+
+// Iterations returns the number of completed feedback rounds.
+func (d *Debugger) Iterations() int { return d.verif.Iterations() }
+
+// Run drives the session to completion with a labeling function (e.g. the
+// synthetic user oracle).
+func (d *Debugger) Run(label func(a, b int) bool) ranker.RunResult {
+	return ranker.Run(d.verif, label)
+}
+
+// Pair value accessors for presentation layers.
+
+// RowA returns tuple a of table A rendered as attr=value strings over the
+// promising attributes.
+func (d *Debugger) RowA(row int) []string { return d.renderRow(d.a, row) }
+
+// RowB is RowA for table B.
+func (d *Debugger) RowB(row int) []string { return d.renderRow(d.b, row) }
+
+func (d *Debugger) renderRow(t *table.Table, row int) []string {
+	out := make([]string, 0, len(d.res.Promising))
+	for _, attr := range d.res.Promising {
+		v, _ := t.ValueByName(row, attr)
+		out = append(out, attr+"="+v)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/ranker"
+	"matchcatcher/internal/table"
+)
+
+// TestBlockerKeepsEverything: when C = A×B, D is empty and the debugger
+// must come back empty-handed immediately.
+func TestBlockerKeepsEverything(t *testing.T) {
+	a, b, _, _ := figure1(t)
+	c := blocker.NewPairSet()
+	for i := 0; i < a.NumRows(); i++ {
+		for j := 0; j < b.NumRows(); j++ {
+			c.Add(i, j)
+		}
+	}
+	d, err := New(a, b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CandidateCount() != 0 {
+		t.Errorf("|E| = %d for a perfect blocker", d.CandidateCount())
+	}
+	if !d.Done() {
+		t.Error("debugger should be done immediately")
+	}
+	if got := d.Next(); got != nil {
+		t.Errorf("Next = %v", got)
+	}
+}
+
+// TestBlockerKeepsNothing: C empty means every pair is killed; the
+// debugger must still run and find the matches.
+func TestBlockerKeepsNothing(t *testing.T) {
+	a, b, _, gold := figure1(t)
+	d, err := New(a, b, blocker.NewPairSet(), Options{Verifier: ranker.Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for !d.Done() {
+		pairs := d.Next()
+		if len(pairs) == 0 {
+			break
+		}
+		labels := make([]bool, len(pairs))
+		for i, p := range pairs {
+			labels[i] = gold.Contains(p.A, p.B)
+			if labels[i] {
+				found++
+			}
+		}
+		if err := d.Feedback(labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if found < 3 {
+		t.Errorf("found only %d of 4 matches with an empty C", found)
+	}
+}
+
+// TestNilCandidateSet: a nil C behaves like an empty one.
+func TestNilCandidateSet(t *testing.T) {
+	a, b, _, _ := figure1(t)
+	d, err := New(a, b, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CandidateCount() == 0 {
+		t.Error("nil C should behave like empty C (everything killed)")
+	}
+}
+
+// TestMostlyMissingColumn: an attribute that is missing nearly everywhere
+// must not break config generation or joining.
+func TestMostlyMissingColumn(t *testing.T) {
+	a := table.MustNew("A", []string{"name", "ghost"})
+	b := table.MustNew("B", []string{"name", "ghost"})
+	for i := 0; i < 6; i++ {
+		a.MustAppend([]string{"alpha beta " + string(rune('a'+i)), ""})
+		b.MustAppend([]string{"alpha beta " + string(rune('a'+i)), ""})
+	}
+	a.MustAppend([]string{"gamma delta", "x"})
+	b.MustAppend([]string{"gamma delta", "x"})
+	d, err := New(a, b, blocker.NewPairSet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CandidateCount() == 0 {
+		t.Error("no candidates despite identical tuples")
+	}
+}
+
+// TestUnicodeValues: multi-byte values flow through tokenization, joins,
+// and explanations without corruption.
+func TestUnicodeValues(t *testing.T) {
+	a := table.MustNew("A", []string{"name", "city"})
+	a.MustAppend([]string{"日本語 タイトル", "東京"})
+	a.MustAppend([]string{"garçon déjà vu", "münchen"})
+	b := table.MustNew("B", []string{"name", "city"})
+	b.MustAppend([]string{"日本語 タイトル", "東京"})
+	b.MustAppend([]string{"garçon déjà", "münchen"})
+	d, err := New(a, b, blocker.NewPairSet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := d.Lists()
+	if len(lists) == 0 {
+		t.Fatal("no lists")
+	}
+	top := lists[0].Pairs
+	if len(top) == 0 || top[0].Score < 0.99 {
+		t.Errorf("identical unicode tuples should top the list: %+v", top)
+	}
+	ex := d.Explain(blocker.Pair{A: 1, B: 1})
+	if len(ex.Diags) == 0 {
+		t.Error("no diagnosis for unicode pair")
+	}
+}
+
+// TestSingleRowTables: the minimum possible input.
+func TestSingleRowTables(t *testing.T) {
+	a := table.MustNew("A", []string{"name"})
+	a.MustAppend([]string{"only row"})
+	b := table.MustNew("B", []string{"name"})
+	b.MustAppend([]string{"only row"})
+	d, err := New(a, b, blocker.NewPairSet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CandidateCount() != 1 {
+		t.Errorf("|E| = %d, want 1", d.CandidateCount())
+	}
+}
+
+// TestFeedbackAfterDone: calling the iteration API past the stopping
+// condition is harmless.
+func TestFeedbackAfterDone(t *testing.T) {
+	a, b, c, _ := figure1(t)
+	d, err := New(a, b, c, Options{Verifier: ranker.Options{MaxIterations: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := d.Next()
+	if err := d.Feedback(make([]bool, len(pairs))); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Done() {
+		t.Fatal("should be done after MaxIterations")
+	}
+	if got := d.Next(); got != nil {
+		t.Errorf("Next after done = %v", got)
+	}
+	if err := d.Feedback(nil); err != nil {
+		t.Errorf("empty feedback after done should be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/config"
+)
+
+func TestSimilarCandidates(t *testing.T) {
+	a, b, c, _ := figure1(t)
+	d, err := New(a, b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a1,b1) is a killed-off match with a near-identical name and a
+	// misspelt city; its most similar candidates should not include
+	// itself and should be valid E pairs.
+	ref := blocker.Pair{A: 0, B: 0}
+	sim := d.SimilarCandidates(ref, 3)
+	if len(sim) == 0 {
+		t.Fatal("no similar candidates")
+	}
+	e := d.Candidates()
+	for _, p := range sim {
+		if p == ref {
+			t.Error("reference pair returned as its own neighbour")
+		}
+		if !e.Contains(p.A, p.B) {
+			t.Errorf("similar candidate %v is not in E", p)
+		}
+	}
+	// Asking for more neighbours than exist returns all of E minus ref.
+	all := d.SimilarCandidates(ref, 10_000)
+	if len(all) != d.CandidateCount()-1 {
+		t.Errorf("all neighbours = %d, want %d", len(all), d.CandidateCount()-1)
+	}
+}
+
+func TestCuratedAttrs(t *testing.T) {
+	a, b, c, _ := figure1(t)
+	d, err := New(a, b, c, Options{Config: config.Options{CuratedAttrs: []string{"Name"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Configs().Promising; len(got) != 1 || got[0] != "Name" {
+		t.Fatalf("promising = %v", got)
+	}
+	if got := len(d.Lists()); got != 1 {
+		t.Errorf("lists = %d, want 1", got)
+	}
+	// Curation can even force attributes the classifier would drop
+	// (numeric Age).
+	d2, err := New(a, b, c, Options{Config: config.Options{CuratedAttrs: []string{"Name", "Age"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d2.Configs().Promising); got != 2 {
+		t.Errorf("curated promising = %v", d2.Configs().Promising)
+	}
+	// Unknown attributes are rejected.
+	if _, err := New(a, b, c, Options{Config: config.Options{CuratedAttrs: []string{"Nope"}}}); err == nil {
+		t.Error("want error for unknown curated attribute")
+	}
+}
+
+func TestReport(t *testing.T) {
+	a, b, c, gold := figure1(t)
+	d, err := New(a, b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := func(x, y int) bool { return gold.Contains(x, y) }
+	d.Run(u)
+	rep := d.Report()
+	if rep.RowsA != 5 || rep.RowsB != 4 || rep.BlockerOut != 3 {
+		t.Errorf("report shape = %+v", rep)
+	}
+	if len(rep.Matches) != 2 {
+		t.Fatalf("matches = %d", len(rep.Matches))
+	}
+	if len(rep.Matches[0].Notes) == 0 || len(rep.Matches[0].ValuesA) == 0 {
+		t.Error("match report missing details")
+	}
+	var buf bytes.Buffer
+	if err := d.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded["e_size"] == nil || decoded["matches"] == nil {
+		t.Errorf("JSON keys missing: %v", decoded)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"matchcatcher/internal/ssjoin"
+)
+
+// MatchReport is one confirmed killed-off match with its rendered values
+// and explanation.
+type MatchReport struct {
+	ARow    int      `json:"a_row"`
+	BRow    int      `json:"b_row"`
+	ValuesA []string `json:"values_a"`
+	ValuesB []string `json:"values_b"`
+	Notes   []string `json:"notes"`
+}
+
+// Report is a JSON-encodable summary of a debugging session, for piping
+// the debugger's findings into downstream tooling.
+type Report struct {
+	TableA      string        `json:"table_a"`
+	TableB      string        `json:"table_b"`
+	RowsA       int           `json:"rows_a"`
+	RowsB       int           `json:"rows_b"`
+	BlockerOut  int           `json:"candidate_set_size"`
+	Promising   []string      `json:"promising_attrs"`
+	Configs     int           `json:"configs"`
+	Candidates  int           `json:"e_size"`
+	Iterations  int           `json:"iterations"`
+	Matches     []MatchReport `json:"matches"`
+	TopProblems []string      `json:"top_problems"`
+	JoinStats   ssjoin.Stats  `json:"join_stats"`
+}
+
+// Report summarizes the session so far (typically called once Done).
+func (d *Debugger) Report() Report {
+	r := Report{
+		TableA:      d.a.Name(),
+		TableB:      d.b.Name(),
+		RowsA:       d.a.NumRows(),
+		RowsB:       d.b.NumRows(),
+		BlockerOut:  d.c.Len(),
+		Promising:   d.res.Promising,
+		Configs:     len(d.join.Lists),
+		Candidates:  d.CandidateCount(),
+		Iterations:  d.Iterations(),
+		TopProblems: d.TopProblems(d.Matches(), 5),
+		JoinStats:   d.join.Stats,
+	}
+	for _, m := range d.Matches() {
+		r.Matches = append(r.Matches, MatchReport{
+			ARow:    m.A,
+			BRow:    m.B,
+			ValuesA: d.RowA(m.A),
+			ValuesB: d.RowB(m.B),
+			Notes:   d.Explain(m).Notes,
+		})
+	}
+	return r
+}
+
+// WriteReport writes the session report as indented JSON.
+func (d *Debugger) WriteReport(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d.Report())
+}

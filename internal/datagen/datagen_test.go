@@ -1,0 +1,288 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"matchcatcher/internal/blocker"
+)
+
+func TestVocabDeterministicAndDistinct(t *testing.T) {
+	v1 := NewVocab(rand.New(rand.NewSource(1)), 500, 1.3)
+	v2 := NewVocab(rand.New(rand.NewSource(1)), 500, 1.3)
+	if v1.Size() != 500 {
+		t.Fatalf("size = %d", v1.Size())
+	}
+	seen := map[string]bool{}
+	for _, w := range v1.words {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+	for i := range v1.words {
+		if v1.words[i] != v2.words[i] {
+			t.Fatal("vocab not deterministic")
+		}
+	}
+}
+
+func TestVocabZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := NewVocab(rng, 1000, 1.3)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[v.Word()]++
+	}
+	// The most frequent word should dominate: Zipf(1.3) puts a large
+	// share of mass on the head.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/20 {
+		t.Errorf("top word frequency %d too small for Zipf sampling", max)
+	}
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct words sampled; tail too thin", len(counts))
+	}
+}
+
+func TestPoolVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := NewVocab(rng, 500, 1.3)
+	p := NewPool(rng, v, 40, 1.0) // every value has a variant
+	variants := 0
+	for i := 0; i < 40; i++ {
+		if p.Value(i) == "" {
+			t.Fatalf("empty pool value at %d", i)
+		}
+		if p.Variant(i) != p.Value(i) {
+			variants++
+		}
+	}
+	if variants < 30 {
+		t.Errorf("only %d/40 values have distinct variants", variants)
+	}
+	for i := 0; i < 100; i++ {
+		idx := p.Pick()
+		if idx < 0 || idx >= 40 {
+			t.Fatalf("Pick out of range: %d", idx)
+		}
+	}
+}
+
+func TestDirtMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := NewVocab(rng, 100, 1.3)
+	d := Dirt{Missing: 1}
+	if got := d.apply(rng, v, "hello world"); got != "" {
+		t.Errorf("Missing=1 should blank the value, got %q", got)
+	}
+	if got := (Dirt{}).apply(rng, v, "clean"); got != "clean" {
+		t.Errorf("zero dirt should preserve value, got %q", got)
+	}
+	if got := (Dirt{Typo: 1}).apply(rng, v, ""); got != "" {
+		t.Errorf("dirt on missing value should stay missing, got %q", got)
+	}
+}
+
+func TestDirtTypoChangesString(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := NewVocab(rng, 100, 1.3)
+	d := Dirt{Typo: 1}
+	changed := 0
+	for i := 0; i < 50; i++ {
+		if d.apply(rng, v, "abcdefgh") != "abcdefgh" {
+			changed++
+		}
+	}
+	if changed < 45 {
+		t.Errorf("typo fired only %d/50 times", changed)
+	}
+}
+
+func TestDirtTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	v := NewVocab(rng, 100, 1.3)
+	d := Dirt{Truncate: 2}
+	got := d.apply(rng, v, "one two three four")
+	if got != "one two" {
+		t.Errorf("Truncate: got %q", got)
+	}
+}
+
+func TestDirtNumJitterPreservesIntegerFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := NewVocab(rng, 100, 1.3)
+	d := Dirt{NumJitter: 0.1}
+	for i := 0; i < 40; i++ {
+		got := d.apply(rng, v, "1995")
+		if strings.Contains(got, ".") {
+			t.Fatalf("integer input produced decimal output %q", got)
+		}
+	}
+	sawDecimal := false
+	for i := 0; i < 40; i++ {
+		if strings.Contains(d.apply(rng, v, "19.95"), ".") {
+			sawDecimal = true
+		}
+	}
+	if !sawDecimal {
+		t.Error("float input never produced decimal output")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Profile{Name: "x", RowsA: 1, RowsB: 1, Matches: 5,
+		Fields: []FieldSpec{{Name: "f", Kind: FieldPhrase, MinWords: 1}}}); err == nil {
+		t.Error("want error when matches exceed rows")
+	}
+	if _, err := Generate(Profile{Name: "x", RowsA: 1, RowsB: 1}); err == nil {
+		t.Error("want error for empty fields")
+	}
+}
+
+func smallProfile() Profile {
+	p := FodorsZagats()
+	p.RowsA, p.RowsB, p.Matches = 120, 90, 40
+	return p
+}
+
+func TestGenerateShapeAndGold(t *testing.T) {
+	d := MustGenerate(smallProfile())
+	if d.A.NumRows() != 120 || d.B.NumRows() != 90 {
+		t.Fatalf("rows = %d, %d", d.A.NumRows(), d.B.NumRows())
+	}
+	if d.GoldCount() != 40 {
+		t.Fatalf("gold = %d, want 40", d.GoldCount())
+	}
+	if d.A.NumAttrs() != 7 || d.B.NumAttrs() != 7 {
+		t.Errorf("attrs = %d, %d", d.A.NumAttrs(), d.B.NumAttrs())
+	}
+	// Gold pairs index valid rows and are 1:1 on both sides.
+	seenA := map[int]bool{}
+	seenB := map[int]bool{}
+	d.Gold.ForEach(func(a, b int) {
+		if a < 0 || a >= 120 || b < 0 || b >= 90 {
+			t.Errorf("gold pair (%d,%d) out of range", a, b)
+		}
+		if seenA[a] || seenB[b] {
+			t.Errorf("gold pair (%d,%d) reuses a row", a, b)
+		}
+		seenA[a], seenB[b] = true, true
+	})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1 := MustGenerate(smallProfile())
+	d2 := MustGenerate(smallProfile())
+	for i := 0; i < d1.A.NumRows(); i++ {
+		for j := 0; j < d1.A.NumAttrs(); j++ {
+			if d1.A.Value(i, j) != d2.A.Value(i, j) {
+				t.Fatalf("A[%d][%d] differs: %q vs %q", i, j, d1.A.Value(i, j), d2.A.Value(i, j))
+			}
+		}
+	}
+	p1 := d1.Gold.SortedPairs()
+	p2 := d2.Gold.SortedPairs()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("gold not deterministic")
+		}
+	}
+}
+
+func TestGenerateMatchesAreSimilar(t *testing.T) {
+	// Matched tuples should be recognizably similar: name-token overlap
+	// for most gold pairs.
+	d := MustGenerate(smallProfile())
+	nameA := d.A.AttrIndex("name")
+	nameB := d.B.AttrIndex("name")
+	similar := 0
+	d.Gold.ForEach(func(a, b int) {
+		ta := strings.Fields(d.A.Value(a, nameA))
+		tb := strings.Fields(d.B.Value(b, nameB))
+		set := map[string]bool{}
+		for _, x := range ta {
+			set[x] = true
+		}
+		for _, y := range tb {
+			if set[y] {
+				similar++
+				return
+			}
+		}
+	})
+	if similar < d.GoldCount()*6/10 {
+		t.Errorf("only %d/%d gold pairs share a name token", similar, d.GoldCount())
+	}
+}
+
+func TestRecallAndKilledMatches(t *testing.T) {
+	d := MustGenerate(smallProfile())
+	// A perfect candidate set has recall 1 and no killed matches.
+	c := blocker.NewPairSet()
+	c.Union(d.Gold)
+	if got := d.Recall(c); got != 1 {
+		t.Errorf("recall of gold = %g", got)
+	}
+	if km := d.KilledMatches(c); len(km) != 0 {
+		t.Errorf("killed matches of gold = %d", len(km))
+	}
+	// An empty candidate set kills everything.
+	empty := blocker.NewPairSet()
+	if got := d.Recall(empty); got != 0 {
+		t.Errorf("recall of empty = %g", got)
+	}
+	if km := d.KilledMatches(empty); len(km) != d.GoldCount() {
+		t.Errorf("killed = %d, want %d", len(km), d.GoldCount())
+	}
+}
+
+func TestProfilesMatchTable1Shape(t *testing.T) {
+	wantAttrs := map[string]int{
+		"A-G": 5, "W-A": 7, "A-D": 5, "F-Z": 7, "M1": 8, "M2": 8, "Papers": 7,
+	}
+	for _, p := range AllProfiles() {
+		if got := len(p.Fields); got != wantAttrs[p.Name] {
+			t.Errorf("%s: %d attrs, want %d", p.Name, got, wantAttrs[p.Name])
+		}
+		if p.RowsA <= 0 || p.RowsB <= 0 || p.Matches <= 0 {
+			t.Errorf("%s: degenerate sizes %+v", p.Name, p)
+		}
+		if p.Name == "Papers" && p.GoldKnown {
+			t.Error("Papers profile must have GoldKnown=false")
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Music1()
+	s := p.Scaled(0.1)
+	if s.RowsA != p.RowsA/10 || s.Matches != p.Matches/10 {
+		t.Errorf("Scaled: %d/%d", s.RowsA, s.Matches)
+	}
+	tiny := p.Scaled(0.000001)
+	if tiny.RowsA < 1 || tiny.Matches > tiny.RowsA {
+		t.Errorf("Scaled floor broken: %+v", tiny)
+	}
+}
+
+func TestFodorsZagatsBlockerRecallVaries(t *testing.T) {
+	// Sanity: on the F-Z profile, an attribute-equivalence blocker on
+	// city kills some matches (variants + typos) but keeps most.
+	d := MustGenerate(FodorsZagats())
+	c, err := blocker.NewAttrEquivalence("city").Block(d.A, d.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Recall(c)
+	if r < 0.2 || r > 0.99 {
+		t.Errorf("city-AE recall = %g; dirt profile should land between", r)
+	}
+}

@@ -1,0 +1,154 @@
+package datagen
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Dirt configures the per-attribute error model applied when rendering an
+// entity into a tuple. Probabilities are independent per rendered value, so
+// the two sides of a match accumulate different errors — exactly the
+// misspellings, abbreviations, and missing values that kill matches at
+// blocking time (the paper's Example 1.1 and Table 4).
+type Dirt struct {
+	Missing   float64 // value replaced by ""
+	Typo      float64 // one character-level edit per firing
+	WordDrop  float64 // one word removed
+	WordSwap  float64 // two adjacent words transposed
+	Abbrev    float64 // one word abbreviated ("york" -> "yk")
+	ExtraWord float64 // one vocabulary word inserted
+	NumJitter float64 // numeric value scaled by up to ±this fraction
+	Truncate  int     // keep at most this many words (0 = unlimited); models
+	// asymmetric value lengths across tables (e.g. Amazon's long
+	// descriptions vs Google's short ones)
+	Passes int // number of independent dirt passes (default 1); higher
+	// values model heavily-editorialized fields where several errors
+	// accumulate in one value
+}
+
+// apply renders one dirty copy of the clean value.
+func (d Dirt) apply(rng *rand.Rand, v *Vocab, clean string) string {
+	passes := d.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	s := clean
+	for i := 0; i < passes; i++ {
+		s = d.applyOnce(rng, v, s)
+	}
+	return s
+}
+
+func (d Dirt) applyOnce(rng *rand.Rand, v *Vocab, clean string) string {
+	if clean == "" {
+		return clean
+	}
+	if rng.Float64() < d.Missing {
+		return ""
+	}
+	s := clean
+	if d.NumJitter > 0 {
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			if rng.Float64() < 0.5 {
+				jitter := 1 + (rng.Float64()*2-1)*d.NumJitter
+				if strings.ContainsRune(s, '.') {
+					s = strconv.FormatFloat(f*jitter, 'f', 2, 64)
+				} else {
+					s = strconv.Itoa(int(f*jitter + 0.5))
+				}
+			}
+			return s
+		}
+	}
+	if d.Truncate > 0 {
+		if w := strings.Fields(s); len(w) > d.Truncate {
+			s = strings.Join(w[:d.Truncate], " ")
+		}
+	}
+	if rng.Float64() < d.WordDrop {
+		s = dropWord(rng, s)
+	}
+	if rng.Float64() < d.WordSwap {
+		s = swapWords(rng, s)
+	}
+	if rng.Float64() < d.Abbrev {
+		s = abbrevWord(rng, s)
+	}
+	if rng.Float64() < d.ExtraWord {
+		s = insertWord(rng, s, v.Word())
+	}
+	if rng.Float64() < d.Typo {
+		s = typo(rng, s)
+	}
+	return s
+}
+
+func dropWord(rng *rand.Rand, s string) string {
+	w := strings.Fields(s)
+	if len(w) < 2 {
+		return s
+	}
+	i := rng.Intn(len(w))
+	return strings.Join(append(w[:i], w[i+1:]...), " ")
+}
+
+func swapWords(rng *rand.Rand, s string) string {
+	w := strings.Fields(s)
+	if len(w) < 2 {
+		return s
+	}
+	i := rng.Intn(len(w) - 1)
+	w[i], w[i+1] = w[i+1], w[i]
+	return strings.Join(w, " ")
+}
+
+func abbrevWord(rng *rand.Rand, s string) string {
+	w := strings.Fields(s)
+	if len(w) == 0 {
+		return s
+	}
+	i := rng.Intn(len(w))
+	w[i] = abbreviateWord(w[i])
+	return strings.Join(w, " ")
+}
+
+func insertWord(rng *rand.Rand, s, extra string) string {
+	w := strings.Fields(s)
+	i := rng.Intn(len(w) + 1)
+	out := make([]string, 0, len(w)+1)
+	out = append(out, w[:i]...)
+	out = append(out, extra)
+	out = append(out, w[i:]...)
+	return strings.Join(out, " ")
+}
+
+// typo applies one random character edit: substitution, deletion,
+// insertion, or transposition.
+func typo(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	if len(r) == 0 {
+		return s
+	}
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	switch rng.Intn(4) {
+	case 0: // substitute
+		i := rng.Intn(len(r))
+		r[i] = rune(letters[rng.Intn(len(letters))])
+	case 1: // delete
+		if len(r) > 1 {
+			i := rng.Intn(len(r))
+			r = append(r[:i], r[i+1:]...)
+		}
+	case 2: // insert
+		i := rng.Intn(len(r) + 1)
+		c := rune(letters[rng.Intn(len(letters))])
+		r = append(r[:i], append([]rune{c}, r[i:]...)...)
+	default: // transpose
+		if len(r) > 1 {
+			i := rng.Intn(len(r) - 1)
+			r[i], r[i+1] = r[i+1], r[i]
+		}
+	}
+	return string(r)
+}

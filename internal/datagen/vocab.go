@@ -1,0 +1,180 @@
+// Package datagen generates the synthetic datasets that stand in for the
+// paper's seven evaluation datasets (Table 1). Each generator is seeded and
+// reproduces the shape that matters to a blocking debugger: table sizes,
+// attribute counts, average value lengths, match counts, Zipfian token
+// distributions, and a dirt profile (typos, abbreviations, word drops,
+// missing values, numeric jitter) that defeats blockers in the same ways
+// real dirt does. Gold matches are known by construction.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Vocab is a deterministic pseudo-word vocabulary with Zipfian sampling,
+// so token document frequencies are skewed the way natural text is (which
+// is what prefix filtering and the config generator's statistics react to).
+type Vocab struct {
+	words []string
+	zipf  *rand.Zipf
+	rng   *rand.Rand
+}
+
+var syllables = []string{
+	"ka", "ri", "ton", "mel", "sor", "vin", "da", "lo", "pex", "tra",
+	"ban", "cu", "dor", "fi", "gal", "hem", "jin", "kor", "lum", "mar",
+	"nev", "oso", "pra", "qui", "ras", "sel", "tur", "ulm", "vor", "wex",
+	"yan", "zor", "che", "bri", "sta", "gro", "pla", "dre", "fla", "sni",
+}
+
+// NewVocab builds a vocabulary of n distinct pseudo-words using the given
+// random source. Sampling follows a Zipf distribution with exponent s
+// (s must be > 1; 1.3 gives a natural-language-like skew).
+func NewVocab(rng *rand.Rand, n int, s float64) *Vocab {
+	if n < 1 {
+		panic("datagen: vocabulary size must be positive")
+	}
+	seen := make(map[string]struct{}, n)
+	words := make([]string, 0, n)
+	for len(words) < n {
+		k := 2 + rng.Intn(3)
+		var sb strings.Builder
+		for i := 0; i < k; i++ {
+			sb.WriteString(syllables[rng.Intn(len(syllables))])
+		}
+		w := sb.String()
+		if _, dup := seen[w]; dup {
+			// Disambiguate collisions instead of rejecting, so
+			// construction terminates for any n.
+			w = fmt.Sprintf("%s%d", w, len(words))
+		}
+		seen[w] = struct{}{}
+		words = append(words, w)
+	}
+	return &Vocab{
+		words: words,
+		zipf:  rand.NewZipf(rng, s, 1, uint64(n-1)),
+		rng:   rng,
+	}
+}
+
+// Word samples one word Zipfianly.
+func (v *Vocab) Word() string { return v.words[v.zipf.Uint64()] }
+
+// Words samples k words (duplicates possible, as in natural titles).
+func (v *Vocab) Words(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = v.Word()
+	}
+	return out
+}
+
+// Phrase samples k words joined by spaces.
+func (v *Vocab) Phrase(k int) string { return strings.Join(v.Words(k), " ") }
+
+// MixedPhrase samples k words, each drawn uniformly (rare) with
+// probability rare and Zipfianly otherwise. Identifying fields like
+// product titles are mostly rare tokens with a few stop-word-like common
+// ones; the rare fraction keeps spurious cross-tuple token collisions at
+// realistic rates.
+func (v *Vocab) MixedPhrase(k int, rare float64) string {
+	words := make([]string, k)
+	for i := range words {
+		if v.rng.Float64() < rare {
+			words[i] = v.UniformWord()
+		} else {
+			words[i] = v.Word()
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// UniformWord samples a word uniformly (for rare/identifying tokens such
+// as model numbers, where Zipf skew is undesirable).
+func (v *Vocab) UniformWord() string { return v.words[v.rng.Intn(len(v.words))] }
+
+// Size returns the vocabulary size.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// Pool is a small categorical value pool (brands, cities, venues) with a
+// skewed popularity distribution and an optional per-value variant (e.g.
+// "new york" vs "ny") used to inject natural variations across tables.
+type Pool struct {
+	values   []string
+	variants []string // variants[i] is an alternate surface form of values[i]
+	rng      *rand.Rand
+}
+
+// NewPool builds a categorical pool of n single-word values. variantRate
+// controls how many values get a distinct alternate surface form.
+func NewPool(rng *rand.Rand, v *Vocab, n int, variantRate float64) *Pool {
+	return NewPhrasePool(rng, v, n, variantRate, 1, 1)
+}
+
+// NewPhrasePool builds a pool of n values of minWords..maxWords uniform
+// words each (artist names, venues). A value's variant abbreviates one of
+// its words.
+func NewPhrasePool(rng *rand.Rand, v *Vocab, n int, variantRate float64, minWords, maxWords int) *Pool {
+	if minWords < 1 {
+		minWords = 1
+	}
+	if maxWords < minWords {
+		maxWords = minWords
+	}
+	p := &Pool{rng: rng}
+	seen := make(map[string]struct{}, n)
+	for len(p.values) < n {
+		k := minWords
+		if maxWords > minWords {
+			k += rng.Intn(maxWords - minWords + 1)
+		}
+		words := make([]string, k)
+		for i := range words {
+			words[i] = v.UniformWord()
+		}
+		w := strings.Join(words, " ")
+		if _, dup := seen[w]; dup {
+			w = fmt.Sprintf("%s%d", w, len(p.values))
+		}
+		seen[w] = struct{}{}
+		p.values = append(p.values, w)
+		variant := w
+		if rng.Float64() < variantRate {
+			i := rng.Intn(len(words))
+			words[i] = abbreviateWord(words[i])
+			variant = strings.Join(words, " ")
+		}
+		p.variants = append(p.variants, variant)
+	}
+	return p
+}
+
+// Pick returns the index of a pool value with popularity skew (low indices
+// are more popular).
+func (p *Pool) Pick() int {
+	// Squaring a uniform variate skews toward 0.
+	f := p.rng.Float64()
+	return int(f * f * float64(len(p.values)))
+}
+
+// Value returns the canonical surface form of pool entry i.
+func (p *Pool) Value(i int) string { return p.values[i] }
+
+// Variant returns the alternate surface form of pool entry i (equal to
+// Value(i) when the entry has no variant).
+func (p *Pool) Variant(i int) string { return p.variants[i] }
+
+// abbreviateWord derives an "NY"-style abbreviation: the first and last
+// letters for long words, or the first letter plus a period.
+func abbreviateWord(w string) string {
+	if len(w) >= 4 {
+		return string(w[0]) + string(w[len(w)-1])
+	}
+	if len(w) > 0 {
+		return string(w[0]) + "."
+	}
+	return w
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strconv"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/table"
+	"matchcatcher/internal/tokenize"
+)
+
+// Spec names one blocker of the paper's Table 2 (or §6.2) on one dataset.
+type Spec struct {
+	Dataset string
+	Label   string // OL / HASH / SIM / R / HASH1 / ...
+	Blocker blocker.Blocker
+}
+
+// Table2Blockers returns the 23 blockers of Table 2, adapted verbatim to
+// the synthetic datasets' schemas (attribute names match the paper's
+// expressions). OL/SIM/R entries are Magellan-style kill rules; HASH
+// entries are keep conditions.
+func Table2Blockers() []Spec {
+	drop := blocker.MustParseDropRule
+	keep := blocker.MustParseKeepRule
+	return []Spec{
+		// A-G (Table 2 row 1).
+		{"A-G", "OL", drop("ag-ol", "title_overlap_word<3")},
+		{"A-G", "HASH", keep("ag-hash", "attr_equal_manuf")},
+		{"A-G", "SIM", drop("ag-sim", "title_cos_word<0.4")},
+		{"A-G", "R", drop("ag-r", "title_jac_word<0.2 AND manuf_jac_3gram<0.4")},
+		// W-A.
+		{"W-A", "OL", drop("wa-ol", "title_overlap_word<3")},
+		{"W-A", "HASH", keep("wa-hash", "attr_equal_brand")},
+		{"W-A", "SIM", drop("wa-sim", "title_cos_word<0.4")},
+		{"W-A", "R", drop("wa-r", "price_absdiff>20 OR title_jac_word<0.5")},
+		// A-D.
+		{"A-D", "OL", drop("ad-ol", "authors_overlap_word<2")},
+		{"A-D", "SIM", drop("ad-sim", "title_jac_3gram<0.7")},
+		{"A-D", "R1", drop("ad-r1", "title_cos_word<0.8 AND authors_jac_3gram<0.8")},
+		{"A-D", "R2", drop("ad-r2", "year_absdiff>0.5 OR title_jac_word<0.7")},
+		// F-Z.
+		{"F-Z", "OL", drop("fz-ol", "name_overlap_word<2")},
+		{"F-Z", "HASH", keep("fz-hash", "attr_equal_city")},
+		{"F-Z", "SIM", drop("fz-sim", "addr_jac_3gram<0.3")},
+		{"F-Z", "R", drop("fz-r", "(name_cos_word<0.5 AND type_jac_3gram<0.7) OR addr_jac_3gram<0.3")},
+		// M1.
+		{"M1", "OL", drop("m1-ol", "artist_name_overlap_word<2")},
+		{"M1", "HASH", keep("m1-hash", "attr_equal_artist_name")},
+		{"M1", "SIM", drop("m1-sim", "title_cos_word<0.5")},
+		{"M1", "R", drop("m1-r", "year_absdiff>0.5 OR title_cos_word<0.7")},
+		// M2.
+		{"M2", "HASH1", keep("m2-hash1", "attr_equal_artist_name")},
+		{"M2", "HASH2", keep("m2-hash2", "attr_equal_release OR attr_equal_artist_name")},
+		{"M2", "SIM1", drop("m2-sim1", "title_cos_word<0.6")},
+		{"M2", "SIM2", drop("m2-sim2", "title_cos_word<0.7")},
+		{"M2", "SIM3", drop("m2-sim3", "title_cos_word<0.8")},
+	}
+}
+
+// SpecsFor filters the Table 2 blockers to one dataset.
+func SpecsFor(dataset string) []Spec {
+	var out []Spec
+	for _, s := range Table2Blockers() {
+		if s.Dataset == dataset {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// priceBucketKey hashes a numeric attribute into coarse buckets (the
+// "hash of price" component of §6.2's best manual hash blockers).
+func priceBucketKey(attr string, width float64) blocker.KeyFunc {
+	return func(t *table.Table, row int) string {
+		v, _ := t.ValueByName(row, attr)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return ""
+		}
+		return strconv.Itoa(int(f / width))
+	}
+}
+
+// compositeKey concatenates normalized attribute values into one blocking
+// key (tuples must agree on every component).
+func compositeKey(attrs ...string) blocker.KeyFunc {
+	return func(t *table.Table, row int) string {
+		key := ""
+		for _, a := range attrs {
+			v, _ := t.ValueByName(row, a)
+			n := tokenize.Normalize(v)
+			if n == "" {
+				return ""
+			}
+			key += n + "\x1f"
+		}
+		return key
+	}
+}
+
+// BestHashBlockers returns the §6.2 "best possible hash blockers" a
+// well-trained user developed for the first five datasets: unions of hash
+// blockers over the most identifying attributes (e.g. for A-G: equality
+// on manufacturer, or on a hash of price, or on title).
+func BestHashBlockers() []Spec {
+	return []Spec{
+		{"A-G", "BESTHASH", blocker.NewUnion("ag-besthash",
+			blocker.NewAttrEquivalence("manuf"),
+			&blocker.Hash{ID: "price_bucket", Key: priceBucketKey("price", 10)},
+			blocker.NewAttrEquivalence("title"),
+		)},
+		{"W-A", "BESTHASH", blocker.NewUnion("wa-besthash",
+			blocker.NewAttrEquivalence("brand"),
+			blocker.NewAttrEquivalence("modelno"),
+			blocker.NewAttrEquivalence("title"),
+		)},
+		{"A-D", "BESTHASH", blocker.NewUnion("ad-besthash",
+			blocker.NewAttrEquivalence("title"),
+			blocker.NewAttrEquivalence("authors"),
+			&blocker.Hash{ID: "venue_year", Key: compositeKey("venue", "year")},
+		)},
+		{"F-Z", "BESTHASH", blocker.NewUnion("fz-besthash",
+			blocker.NewAttrEquivalence("name"),
+			blocker.NewAttrEquivalence("phone"),
+			blocker.NewAttrEquivalence("addr"),
+		)},
+		{"M1", "BESTHASH", blocker.NewUnion("m1-besthash",
+			blocker.NewAttrEquivalence("title"),
+			blocker.NewAttrEquivalence("artist_name"),
+			&blocker.Hash{ID: "release_year", Key: compositeKey("release", "year")},
+		)},
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"matchcatcher/internal/config"
+	"matchcatcher/internal/datagen"
+	"matchcatcher/internal/metrics"
+	"matchcatcher/internal/ssjoin"
+)
+
+// Fig9Point is one measurement of Figure 9: the top-k module's runtime
+// for one dataset fraction, blocker, and k.
+type Fig9Point struct {
+	Dataset string
+	Blocker string
+	K       int
+	Pct     int // dataset percentage (10..100)
+	Seconds float64
+}
+
+// RunFig9 sweeps the top-k module's runtime over dataset fractions (the
+// paper's 10%..100%) for the given blockers and k values. Timing covers
+// the joint top-k joins only — config generation and corpus building are
+// separate pipeline stages (§6.4 times "the top-k module").
+func (e *Env) RunFig9(dataset string, specs []Spec, ks []int, pcts []int) ([]Fig9Point, error) {
+	base, err := profileByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if e.Scale != 1 {
+		base = base.Scaled(e.Scale)
+	}
+	var points []Fig9Point
+	for _, pct := range pcts {
+		prof := base.Scaled(float64(pct) / 100)
+		d, err := datagen.Generate(prof)
+		if err != nil {
+			return nil, err
+		}
+		res, err := config.Generate(d.A, d.B, config.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cor := ssjoin.NewCorpus(d.A, d.B, res)
+		for _, s := range specs {
+			c, err := s.Blocker.Block(d.A, d.B)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range ks {
+				start := time.Now()
+				ssjoin.JoinAll(cor, c, ssjoin.Options{K: k})
+				points = append(points, Fig9Point{
+					Dataset: dataset, Blocker: s.Label, K: k, Pct: pct,
+					Seconds: time.Since(start).Seconds(),
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// FormatFig9 renders the sweep as one series per (blocker, k).
+func FormatFig9(points []Fig9Point) string {
+	t := &metrics.Table{Headers: []string{"Dataset", "Blocker", "k", "pct", "runtime(s)"}}
+	for _, p := range points {
+		t.Add(p.Dataset, p.Blocker, p.K, fmt.Sprintf("%d%%", p.Pct), fmt.Sprintf("%.2f", p.Seconds))
+	}
+	return t.String()
+}

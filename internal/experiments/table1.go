@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"matchcatcher/internal/metrics"
+	"matchcatcher/internal/table"
+)
+
+// Table1Row summarizes one dataset as the paper's Table 1 does.
+type Table1Row struct {
+	Dataset   string
+	RowsA     int
+	RowsB     int
+	Matches   int // -1 when gold is treated as unknown (Papers)
+	Attrs     int
+	AvgLenA   float64 // average tokens per tuple, table A
+	AvgLenB   float64
+	AvgCharsA float64 // average characters per tuple
+	AvgCharsB float64
+}
+
+// RunTable1 regenerates Table 1's dataset statistics.
+func (e *Env) RunTable1(datasets []string) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range datasets {
+		d, err := e.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Dataset: name,
+			RowsA:   d.A.NumRows(),
+			RowsB:   d.B.NumRows(),
+			Matches: d.GoldCount(),
+			Attrs:   d.A.NumAttrs(),
+			AvgLenA: d.A.AvgTupleTokenLen(nil),
+			AvgLenB: d.B.AvgTupleTokenLen(nil),
+		}
+		if !d.Profile.GoldKnown {
+			row.Matches = -1
+		}
+		row.AvgCharsA = avgTupleChars(d.A)
+		row.AvgCharsB = avgTupleChars(d.B)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows as a report table.
+func FormatTable1(rows []Table1Row) string {
+	t := &metrics.Table{Headers: []string{"Dataset", "|A|", "|B|", "#matches", "#attrs", "avg chars A,B"}}
+	for _, r := range rows {
+		matches := fmt.Sprintf("%d", r.Matches)
+		if r.Matches < 0 {
+			matches = "unknown"
+		}
+		t.Add(r.Dataset, r.RowsA, r.RowsB, matches, r.Attrs,
+			fmt.Sprintf("%.0f, %.0f", r.AvgCharsA, r.AvgCharsB))
+	}
+	return t.String()
+}
+
+func avgTupleChars(t *table.Table) float64 {
+	if t.NumRows() == 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < t.NumRows(); i++ {
+		for j := 0; j < t.NumAttrs(); j++ {
+			total += len(strings.TrimSpace(t.Value(i, j)))
+		}
+	}
+	return float64(total) / float64(t.NumRows())
+}

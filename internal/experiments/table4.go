@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"matchcatcher/internal/core"
+	"matchcatcher/internal/metrics"
+	"matchcatcher/internal/oracle"
+)
+
+// Table4Row is one row of the paper's Table 4: matches found and problems
+// identified within the first three verifier iterations, plus the modeled
+// labeling time.
+type Table4Row struct {
+	Dataset   string
+	Blocker   string
+	Iters     int
+	Matches   int
+	LabelTime time.Duration
+	Problems  []string // most pervasive blocker problems, Table 4 style
+}
+
+// RunTable4Row runs the first `iters` verifier iterations for one blocker
+// and summarizes the problems behind the matches found.
+func (e *Env) RunTable4Row(s Spec, iters int, opt DebugOptions) (Table4Row, error) {
+	d, c, err := e.Block(s.Dataset, s.Blocker)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	copt := opt.core()
+	copt.Verifier.MaxIterations = iters
+	dbg, err := core.New(d.A, d.B, c, copt)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	u := oracle.New(d.Gold, 0, opt.Seed+17)
+	res := dbg.Run(u.Label)
+	return Table4Row{
+		Dataset:   s.Dataset,
+		Blocker:   s.Label,
+		Iters:     res.Iterations,
+		Matches:   len(res.Matches),
+		LabelTime: u.LabelTime(),
+		Problems:  dbg.TopProblems(res.Matches, 3),
+	}, nil
+}
+
+// Table4Specs returns the five dataset/blocker combinations Table 4
+// reports: OL (A-G), HASH (W-A), SIM (A-D), R (F-Z), R (M1).
+func Table4Specs() []Spec {
+	want := map[string]string{"A-G": "OL", "W-A": "HASH", "A-D": "SIM", "F-Z": "R", "M1": "R"}
+	var out []Spec
+	for _, s := range Table2Blockers() {
+		if want[s.Dataset] == s.Label {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunTable4 regenerates Table 4 (3 iterations per blocker).
+func (e *Env) RunTable4(opt DebugOptions) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, s := range Table4Specs() {
+		row, err := e.RunTable4Row(s, 3, opt)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders the rows.
+func FormatTable4(rows []Table4Row) string {
+	t := &metrics.Table{Headers: []string{"Blocker", "iters", "matches", "label time", "problems"}}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%s (%s)", r.Blocker, r.Dataset), r.Iters, r.Matches,
+			fmt.Sprintf("%.0f mins", r.LabelTime.Minutes()),
+			strings.Join(r.Problems, "; "))
+	}
+	return t.String()
+}

@@ -1,0 +1,67 @@
+// Package feature builds the pair feature vectors the Match Verifier's
+// random forest learns on: per-attribute word-level Jaccard similarities,
+// presence flags, a length-difference ratio, and the full-config score.
+package feature
+
+import (
+	"matchcatcher/internal/config"
+	"matchcatcher/internal/simfunc"
+	"matchcatcher/internal/ssjoin"
+)
+
+// Extractor computes feature vectors for tuple pairs over a corpus.
+type Extractor struct {
+	cor   *ssjoin.Corpus
+	full  config.Mask
+	names []string
+}
+
+// NewExtractor builds an extractor over the corpus's promising attributes.
+func NewExtractor(cor *ssjoin.Corpus) *Extractor {
+	n := len(cor.Res.Promising)
+	e := &Extractor{
+		cor:  cor,
+		full: config.Mask(1)<<uint(n) - 1,
+	}
+	for _, attr := range cor.Res.Promising {
+		e.names = append(e.names, attr+"_jac")
+	}
+	for _, attr := range cor.Res.Promising {
+		e.names = append(e.names, attr+"_present")
+	}
+	e.names = append(e.names, "all_jac", "len_ratio")
+	return e
+}
+
+// Names returns the feature names, aligned with Vector's output.
+func (e *Extractor) Names() []string { return e.names }
+
+// Dim returns the vector dimensionality.
+func (e *Extractor) Dim() int { return len(e.names) }
+
+// Vector computes the feature vector for the pair (A-row a, B-row b).
+func (e *Extractor) Vector(a, b int32) []float64 {
+	n := len(e.cor.Res.Promising)
+	out := make([]float64, 0, 2*n+2)
+	for i := 0; i < n; i++ {
+		m := config.Mask(1) << uint(i)
+		out = append(out, e.cor.Sim(a, b, m, simfunc.Jaccard))
+	}
+	for i := 0; i < n; i++ {
+		m := config.Mask(1) << uint(i)
+		if e.cor.LenUnder(0, a, m) > 0 && e.cor.LenUnder(1, b, m) > 0 {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	out = append(out, e.cor.Sim(a, b, e.full, simfunc.Jaccard))
+	la := e.cor.LenUnder(0, a, e.full)
+	lb := e.cor.LenUnder(1, b, e.full)
+	if la == 0 || lb == 0 {
+		out = append(out, 0)
+	} else {
+		out = append(out, float64(min(la, lb))/float64(max(la, lb)))
+	}
+	return out
+}

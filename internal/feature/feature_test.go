@@ -1,0 +1,64 @@
+package feature
+
+import (
+	"testing"
+
+	"matchcatcher/internal/config"
+	"matchcatcher/internal/ssjoin"
+	"matchcatcher/internal/table"
+)
+
+func extractor(t *testing.T) *Extractor {
+	t.Helper()
+	attrs := []string{"name", "city"}
+	a := table.MustNew("A", attrs)
+	a.MustAppend([]string{"dave smith", "atlanta"})
+	a.MustAppend([]string{"joe wilson", ""})
+	b := table.MustNew("B", attrs)
+	b.MustAppend([]string{"david smith", "atlanta"})
+	b.MustAppend([]string{"ann brown", "chicago"})
+	res, err := config.Generate(a, b, config.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewExtractor(ssjoin.NewCorpus(a, b, res))
+}
+
+func TestVectorShape(t *testing.T) {
+	e := extractor(t)
+	v := e.Vector(0, 0)
+	if len(v) != e.Dim() || len(v) != len(e.Names()) {
+		t.Fatalf("dim mismatch: %d vs %d vs %d", len(v), e.Dim(), len(e.Names()))
+	}
+	for i, x := range v {
+		if x < 0 || x > 1 {
+			t.Errorf("feature %s = %g out of [0,1]", e.Names()[i], x)
+		}
+	}
+}
+
+func TestVectorDiscriminates(t *testing.T) {
+	e := extractor(t)
+	match := e.Vector(0, 0)    // dave smith/atlanta vs david smith/atlanta
+	nonmatch := e.Vector(0, 1) // dave smith/atlanta vs ann brown/chicago
+	// The full-config jaccard feature (index 2n) must be higher for the
+	// match.
+	n := 2
+	if match[2*n] <= nonmatch[2*n] {
+		t.Errorf("all_jac: match %g <= nonmatch %g", match[2*n], nonmatch[2*n])
+	}
+}
+
+func TestPresenceFlagsMissing(t *testing.T) {
+	e := extractor(t)
+	v := e.Vector(1, 0) // A row 1 has missing city
+	names := e.Names()
+	for i, name := range names {
+		if name == "city_present" && v[i] != 0 {
+			t.Errorf("city_present = %g for missing city", v[i])
+		}
+		if name == "name_present" && v[i] != 1 {
+			t.Errorf("name_present = %g", v[i])
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package metrics provides the evaluation arithmetic of Section 6 (recall,
+// the M_D / M_E / F counters of Table 3) and plain-text table rendering
+// for the experiment reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"matchcatcher/internal/blocker"
+)
+
+// Recall is |M ∩ C| / |M| (Definition 2.1). It returns 0 for an empty M.
+func Recall(gold, c *blocker.PairSet) float64 {
+	if gold.Len() == 0 {
+		return 0
+	}
+	kept := 0
+	gold.ForEach(func(a, b int) {
+		if c.Contains(a, b) {
+			kept++
+		}
+	})
+	return float64(kept) / float64(gold.Len())
+}
+
+// Intersection counts |X ∩ Y| for two pair sets.
+func Intersection(x, y *blocker.PairSet) int {
+	n := 0
+	x.ForEach(func(a, b int) {
+		if y.Contains(a, b) {
+			n++
+		}
+	})
+	return n
+}
+
+// CountIn counts how many of the pairs are members of the set.
+func CountIn(pairs []blocker.Pair, s *blocker.PairSet) int {
+	n := 0
+	for _, p := range pairs {
+		if s.Contains(p.A, p.B) {
+			n++
+		}
+	}
+	return n
+}
+
+// Pct renders a ratio as a percentage with one decimal ("64.7").
+func Pct(num, den int) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(num)/float64(den))
+}
+
+// Table is a plain-text table with aligned columns.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row; values are stringified with %v.
+func (t *Table) Add(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		row[i] = fmt.Sprintf("%v", v)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns and a header rule.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}

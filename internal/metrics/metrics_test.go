@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"matchcatcher/internal/blocker"
+)
+
+func set(pairs ...[2]int) *blocker.PairSet {
+	s := blocker.NewPairSet()
+	for _, p := range pairs {
+		s.Add(p[0], p[1])
+	}
+	return s
+}
+
+func TestRecall(t *testing.T) {
+	gold := set([2]int{0, 0}, [2]int{1, 1}, [2]int{2, 2}, [2]int{3, 3})
+	c := set([2]int{0, 0}, [2]int{1, 1}, [2]int{9, 9})
+	if got := Recall(gold, c); got != 0.5 {
+		t.Errorf("recall = %g", got)
+	}
+	if got := Recall(blocker.NewPairSet(), c); got != 0 {
+		t.Errorf("empty gold recall = %g", got)
+	}
+}
+
+func TestIntersectionAndCountIn(t *testing.T) {
+	x := set([2]int{0, 0}, [2]int{1, 1})
+	y := set([2]int{1, 1}, [2]int{2, 2})
+	if got := Intersection(x, y); got != 1 {
+		t.Errorf("intersection = %d", got)
+	}
+	pairs := []blocker.Pair{{A: 1, B: 1}, {A: 5, B: 5}}
+	if got := CountIn(pairs, y); got != 1 {
+		t.Errorf("CountIn = %d", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(820, 1267); got != "64.7" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "-" {
+		t.Errorf("Pct div0 = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Headers: []string{"Dataset", "C", "M_D"}}
+	tab.Add("A-G", 8388, 291)
+	tab.Add("F-Z", 115, 47)
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "Dataset") || !strings.Contains(lines[2], "8388") {
+		t.Errorf("table:\n%s", s)
+	}
+	// Columns align: "C" column starts at the same offset in all rows.
+	off := strings.Index(lines[0], "C")
+	if lines[2][off-1] != ' ' {
+		t.Errorf("misaligned:\n%s", s)
+	}
+}

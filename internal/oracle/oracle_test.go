@@ -1,0 +1,65 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+
+	"matchcatcher/internal/blocker"
+)
+
+func goldSet() *blocker.PairSet {
+	g := blocker.NewPairSet()
+	g.Add(1, 2)
+	g.Add(3, 4)
+	return g
+}
+
+func TestLabelAccurate(t *testing.T) {
+	u := New(goldSet(), 0, 1)
+	if !u.Label(1, 2) || !u.Label(3, 4) {
+		t.Error("gold pairs must label true")
+	}
+	if u.Label(1, 3) {
+		t.Error("non-gold pair labeled true")
+	}
+	if u.Labeled() != 3 {
+		t.Errorf("labeled = %d", u.Labeled())
+	}
+}
+
+func TestLabelTimeModel(t *testing.T) {
+	u := New(goldSet(), 0, 1)
+	u.SecondsPerPair = 8
+	for i := 0; i < 60; i++ {
+		u.Label(0, 0)
+	}
+	// 60 pairs at 8s each = 8 minutes — inside Table 4's 7-10 minute
+	// range for 3 iterations of 20 pairs.
+	if got, want := u.LabelTime(), 8*time.Minute; got != want {
+		t.Errorf("LabelTime = %v, want %v", got, want)
+	}
+	u.Reset()
+	if u.Labeled() != 0 || u.LabelTime() != 0 {
+		t.Error("Reset did not clear effort")
+	}
+}
+
+func TestNoiseFlipsSomeLabels(t *testing.T) {
+	u := New(goldSet(), 0.5, 7)
+	flips := 0
+	for i := 0; i < 200; i++ {
+		if u.Label(1, 2) != true {
+			flips++
+		}
+	}
+	if flips < 50 || flips > 150 {
+		t.Errorf("noise=0.5 flipped %d/200", flips)
+	}
+	// Zero noise never flips.
+	u2 := New(goldSet(), 0, 7)
+	for i := 0; i < 50; i++ {
+		if !u2.Label(1, 2) {
+			t.Fatal("zero-noise flip")
+		}
+	}
+}

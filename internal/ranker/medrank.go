@@ -1,0 +1,116 @@
+// Package ranker implements the Match Verifier of Section 5 of the paper:
+// MedRank rank aggregation over the per-config top-k lists, the weighted
+// median ranking (WMR) baseline, and the hybrid active/online learning
+// loop that engages the user to surface killed-off matches.
+package ranker
+
+import (
+	"math/rand"
+	"sort"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/ssjoin"
+)
+
+// competitionRanks assigns 1-based competition ranks ("1224" style: items
+// with equal score share a rank) to one sorted top-k list.
+func competitionRanks(l ssjoin.TopKList) map[int64]int {
+	out := make(map[int64]int, len(l.Pairs))
+	rank := 0
+	for i, p := range l.Pairs {
+		if i == 0 || p.Score != l.Pairs[i-1].Score {
+			rank = i + 1
+		}
+		out[pairID(p.A, p.B)] = rank
+	}
+	return out
+}
+
+func pairID(a, b int32) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+func idPair(id int64) blocker.Pair {
+	return blocker.Pair{A: int(id >> 32), B: int(int32(uint32(id)))}
+}
+
+// aggregate computes the weighted-median-rank order of every pair in the
+// lists. An item missing from a list receives rank len(list)+1 there (the
+// paper's Example 5.1). Ties in global rank break randomly via rng.
+func aggregate(lists []ssjoin.TopKList, weights []float64, rng *rand.Rand) []blocker.Pair {
+	ranks := make([]map[int64]int, len(lists))
+	universe := map[int64]struct{}{}
+	for i, l := range lists {
+		ranks[i] = competitionRanks(l)
+		for id := range ranks[i] {
+			universe[id] = struct{}{}
+		}
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return nil
+	}
+
+	type scored struct {
+		id     int64
+		global float64
+		tie    int
+	}
+	items := make([]scored, 0, len(universe))
+	type rw struct {
+		r int
+		w float64
+	}
+	rws := make([]rw, 0, len(lists))
+	for id := range universe {
+		rws = rws[:0]
+		for i := range lists {
+			r, ok := ranks[i][id]
+			if !ok {
+				r = len(lists[i].Pairs) + 1
+			}
+			rws = append(rws, rw{r: r, w: weights[i]})
+		}
+		sort.Slice(rws, func(x, y int) bool { return rws[x].r < rws[y].r })
+		// Weighted median: the smallest rank whose cumulative weight
+		// reaches half the total.
+		cum := 0.0
+		med := rws[len(rws)-1].r
+		for _, x := range rws {
+			cum += x.w
+			if cum*2 >= total {
+				med = x.r
+				break
+			}
+		}
+		items = append(items, scored{id: id, global: float64(med)})
+	}
+	// Random tie-breaking (seeded): assign tiebreak numbers, then sort.
+	perm := rng.Perm(len(items))
+	for i := range items {
+		items[i].tie = perm[i]
+	}
+	sort.Slice(items, func(x, y int) bool {
+		if items[x].global != items[y].global {
+			return items[x].global < items[y].global
+		}
+		return items[x].tie < items[y].tie
+	})
+	out := make([]blocker.Pair, len(items))
+	for i, it := range items {
+		out[i] = idPair(it.id)
+	}
+	return out
+}
+
+// MedRank aggregates the top-k lists into a single global order using the
+// median of per-list competition ranks (Fagin et al.'s MedRank), breaking
+// ties randomly with the seeded rng.
+func MedRank(lists []ssjoin.TopKList, seed int64) []blocker.Pair {
+	w := make([]float64, len(lists))
+	for i := range w {
+		w[i] = 1
+	}
+	return aggregate(lists, w, rand.New(rand.NewSource(seed)))
+}

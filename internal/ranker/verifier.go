@@ -1,0 +1,376 @@
+package ranker
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/rforest"
+	"matchcatcher/internal/ssjoin"
+)
+
+// Mode selects the verifier's ranking strategy.
+type Mode int
+
+// The verifier modes.
+const (
+	// ModeLearning is the paper's hybrid strategy: MedRank bootstrap,
+	// then three hybrid active-learning iterations (n/4 controversial +
+	// 3n/4 high-confidence pairs), then pure online learning.
+	ModeLearning Mode = iota
+	// ModeWMR is the weighted-median-ranking baseline the paper compares
+	// against in §6.5.
+	ModeWMR
+)
+
+// Options tunes the verifier. Zero values select the paper's settings.
+type Options struct {
+	N int // pairs shown per iteration (default 20)
+	// ALIterations is the number of hybrid active-learning iterations
+	// (default 3; negative disables the hybrid phase entirely, for the
+	// §6.5 sensitivity sweep).
+	ALIterations   int
+	StopAfterEmpty int // stop after this many consecutive matchless iterations (default 2)
+	MaxIterations  int // safety cap; 0 = none
+	Mode           Mode
+	Seed           int64
+	Forest         rforest.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 20
+	}
+	switch {
+	case o.ALIterations == 0:
+		o.ALIterations = 3
+	case o.ALIterations < 0:
+		o.ALIterations = 0
+	}
+	if o.StopAfterEmpty == 0 {
+		o.StopAfterEmpty = 2
+	}
+	if o.Forest.Trees == 0 {
+		o.Forest.Trees = 10
+	}
+	return o
+}
+
+// FeatureFunc computes a pair's feature vector (feature.Extractor.Vector).
+type FeatureFunc func(a, b int32) []float64
+
+// Verifier drives the interactive loop over E, the union of the top-k
+// lists. Call Next for the pairs to show, label them, pass the labels to
+// Feedback, and repeat until Done.
+type Verifier struct {
+	opt   Options
+	lists []ssjoin.TopKList
+	feats FeatureFunc
+
+	ids     []int64
+	byID    map[int64]int
+	vecs    [][]float64
+	labeled map[int]bool // item index -> label
+	matches []blocker.Pair
+
+	iter        int
+	emptyStreak int
+	alRounds    int
+	haveMatch   bool
+	haveNon     bool
+
+	order   []blocker.Pair // bootstrap/WMR global order
+	cursor  int
+	weights []float64 // WMR per-list weights
+	rng     *rand.Rand
+
+	pending []int // item indices returned by the last Next
+	forest  *rforest.Forest
+	stale   bool
+}
+
+// NewVerifier builds a verifier over the per-config top-k lists.
+func NewVerifier(lists []ssjoin.TopKList, feats FeatureFunc, opt Options) *Verifier {
+	opt = opt.withDefaults()
+	v := &Verifier{
+		opt:     opt,
+		lists:   lists,
+		feats:   feats,
+		byID:    map[int64]int{},
+		labeled: map[int]bool{},
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		stale:   true,
+	}
+	for _, l := range lists {
+		for _, p := range l.Pairs {
+			id := pairID(p.A, p.B)
+			if _, ok := v.byID[id]; !ok {
+				v.byID[id] = len(v.ids)
+				v.ids = append(v.ids, id)
+			}
+		}
+	}
+	v.vecs = make([][]float64, len(v.ids))
+	v.weights = make([]float64, len(lists))
+	for i := range v.weights {
+		v.weights[i] = 1
+	}
+	v.order = aggregate(lists, v.weights, v.rng)
+	return v
+}
+
+// NumCandidates returns |E|, the number of distinct candidate pairs.
+func (v *Verifier) NumCandidates() int { return len(v.ids) }
+
+// Iterations returns the number of completed Feedback rounds.
+func (v *Verifier) Iterations() int { return v.iter }
+
+// Matches returns the confirmed matches so far (in confirmation order).
+func (v *Verifier) Matches() []blocker.Pair { return v.matches }
+
+// Done reports the paper's stopping condition: no new matches in
+// StopAfterEmpty consecutive iterations, every candidate labeled, or the
+// iteration cap reached.
+func (v *Verifier) Done() bool {
+	if len(v.labeled) >= len(v.ids) {
+		return true
+	}
+	if v.iter > 0 && v.emptyStreak >= v.opt.StopAfterEmpty {
+		return true
+	}
+	if v.opt.MaxIterations > 0 && v.iter >= v.opt.MaxIterations {
+		return true
+	}
+	return false
+}
+
+func (v *Verifier) vec(i int) []float64 {
+	if v.vecs[i] == nil {
+		id := v.ids[i]
+		v.vecs[i] = v.feats(int32(id>>32), int32(uint32(id)))
+	}
+	return v.vecs[i]
+}
+
+// Next returns up to N unlabeled pairs to show the user. It returns nil
+// when the verifier is done. Every Next must be followed by Feedback.
+func (v *Verifier) Next() []blocker.Pair {
+	if v.Done() {
+		return nil
+	}
+	var idxs []int
+	switch {
+	case v.opt.Mode == ModeWMR, !v.haveMatch || !v.haveNon:
+		idxs = v.nextFromOrder()
+	case v.alRounds < v.opt.ALIterations:
+		idxs = v.nextHybrid()
+	default:
+		idxs = v.nextConfident(v.opt.N, nil)
+	}
+	v.pending = idxs
+	out := make([]blocker.Pair, len(idxs))
+	for i, idx := range idxs {
+		out[i] = idPair(v.ids[idx])
+	}
+	return out
+}
+
+// nextFromOrder walks the aggregated global list.
+func (v *Verifier) nextFromOrder() []int {
+	var idxs []int
+	for v.cursor < len(v.order) && len(idxs) < v.opt.N {
+		idx := v.byID[pairID(int32(v.order[v.cursor].A), int32(v.order[v.cursor].B))]
+		v.cursor++
+		if _, done := v.labeled[idx]; !done {
+			idxs = append(idxs, idx)
+		}
+	}
+	return idxs
+}
+
+// nextHybrid picks n/4 controversial pairs (confidence nearest 0.5) and
+// fills the rest with the highest-confidence pairs (Section 5's hybrid
+// that serves both the learner and the user's hunt for matches).
+func (v *Verifier) nextHybrid() []int {
+	v.ensureForest()
+	nContro := v.opt.N / 4
+	type scored struct {
+		idx  int
+		conf float64
+	}
+	var unlabeled []scored
+	for i := range v.ids {
+		if _, done := v.labeled[i]; done {
+			continue
+		}
+		unlabeled = append(unlabeled, scored{i, v.forest.Confidence(v.vec(i))})
+	}
+	sort.Slice(unlabeled, func(x, y int) bool {
+		dx := math.Abs(unlabeled[x].conf - 0.5)
+		dy := math.Abs(unlabeled[y].conf - 0.5)
+		if dx != dy {
+			return dx < dy
+		}
+		return unlabeled[x].idx < unlabeled[y].idx
+	})
+	taken := map[int]bool{}
+	var idxs []int
+	for _, s := range unlabeled {
+		if len(idxs) >= nContro {
+			break
+		}
+		idxs = append(idxs, s.idx)
+		taken[s.idx] = true
+	}
+	return append(idxs, v.nextConfident(v.opt.N-len(idxs), taken)...)
+}
+
+// nextConfident returns the n unlabeled pairs with the highest positive
+// prediction confidence, skipping any in taken.
+func (v *Verifier) nextConfident(n int, taken map[int]bool) []int {
+	v.ensureForest()
+	type scored struct {
+		idx  int
+		conf float64
+	}
+	var unlabeled []scored
+	for i := range v.ids {
+		if _, done := v.labeled[i]; done {
+			continue
+		}
+		if taken[i] {
+			continue
+		}
+		unlabeled = append(unlabeled, scored{i, v.forest.Confidence(v.vec(i))})
+	}
+	sort.Slice(unlabeled, func(x, y int) bool {
+		if unlabeled[x].conf != unlabeled[y].conf {
+			return unlabeled[x].conf > unlabeled[y].conf
+		}
+		return unlabeled[x].idx < unlabeled[y].idx
+	})
+	var idxs []int
+	for _, s := range unlabeled {
+		if len(idxs) >= n {
+			break
+		}
+		idxs = append(idxs, s.idx)
+	}
+	return idxs
+}
+
+func (v *Verifier) ensureForest() {
+	if !v.stale && v.forest != nil {
+		return
+	}
+	var exs []rforest.Example
+	for idx, y := range v.labeled {
+		exs = append(exs, rforest.Example{X: v.vec(idx), Y: y})
+	}
+	fopt := v.opt.Forest
+	fopt.Seed = v.opt.Seed + int64(v.iter)
+	f, err := rforest.Train(exs, fopt)
+	if err != nil {
+		// No labels yet; callers only reach here after bootstrap, but be
+		// safe and fall back to a trivial forest via a single negative.
+		f, _ = rforest.Train([]rforest.Example{{X: make([]float64, len(v.vec(0))), Y: false}}, fopt)
+	}
+	v.forest = f
+	v.stale = false
+}
+
+// Feedback records the user's labels for the pairs of the last Next call
+// (aligned by position) and reranks for the next iteration.
+func (v *Verifier) Feedback(labels []bool) error {
+	if len(labels) != len(v.pending) {
+		return fmt.Errorf("ranker: %d labels for %d pending pairs", len(labels), len(v.pending))
+	}
+	wasHybrid := v.opt.Mode == ModeLearning && v.haveMatch && v.haveNon && v.alRounds < v.opt.ALIterations
+	newMatches := 0
+	roundPairs := make(map[int64]bool, len(labels))
+	for i, y := range labels {
+		idx := v.pending[i]
+		if _, dup := v.labeled[idx]; dup {
+			continue
+		}
+		v.labeled[idx] = y
+		if y {
+			v.haveMatch = true
+			newMatches++
+			v.matches = append(v.matches, idPair(v.ids[idx]))
+			roundPairs[v.ids[idx]] = true
+		} else {
+			v.haveNon = true
+		}
+	}
+	v.pending = nil
+	v.iter++
+	v.stale = true
+	if wasHybrid {
+		v.alRounds++
+	}
+	if newMatches == 0 {
+		v.emptyStreak++
+	} else {
+		v.emptyStreak = 0
+	}
+	if v.opt.Mode == ModeWMR {
+		// w_i <- w_i * (1 + log(1 + r_i)), r_i = matches of this round
+		// appearing in list i; then renormalize and re-aggregate.
+		total := 0.0
+		for i, l := range v.lists {
+			r := 0
+			for _, p := range l.Pairs {
+				if roundPairs[pairID(p.A, p.B)] {
+					r++
+				}
+			}
+			v.weights[i] *= 1 + math.Log(1+float64(r))
+			total += v.weights[i]
+		}
+		for i := range v.weights {
+			v.weights[i] /= total
+		}
+		v.order = aggregate(v.lists, v.weights, v.rng)
+		v.cursor = 0
+	}
+	return nil
+}
+
+// RunResult summarizes a completed verifier run.
+type RunResult struct {
+	Matches            []blocker.Pair
+	Iterations         int
+	LabelsGiven        int
+	MatchesByIteration []int
+}
+
+// Run drives a verifier to its stopping condition with the given labeler
+// (typically the synthetic user oracle).
+func Run(v *Verifier, label func(a, b int) bool) RunResult {
+	var res RunResult
+	for !v.Done() {
+		pairs := v.Next()
+		if len(pairs) == 0 {
+			break
+		}
+		labels := make([]bool, len(pairs))
+		found := 0
+		for i, p := range pairs {
+			labels[i] = label(p.A, p.B)
+			if labels[i] {
+				found++
+			}
+		}
+		if err := v.Feedback(labels); err != nil {
+			panic(err) // programming error: labels always align with Next
+		}
+		res.LabelsGiven += len(labels)
+		res.MatchesByIteration = append(res.MatchesByIteration, found)
+	}
+	res.Matches = v.Matches()
+	res.Iterations = v.Iterations()
+	return res
+}

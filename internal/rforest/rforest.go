@@ -1,0 +1,207 @@
+// Package rforest is a from-scratch random forest classifier (CART
+// decision trees with Gini splits, bootstrap bagging, and √d feature
+// subsampling) — the learner behind the Match Verifier's active/online
+// learning (Section 5 of the paper). The Go ecosystem offers no stdlib
+// learner, so the paper's scikit-style forest is implemented manually;
+// the verifier needs only Train and per-item positive-vote confidence.
+package rforest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Example is one labeled training instance.
+type Example struct {
+	X []float64
+	Y bool
+}
+
+// Options tunes training. Zero values select defaults.
+type Options struct {
+	Trees            int   // number of trees (default 10)
+	MaxDepth         int   // maximum tree depth (default 10)
+	MinLeaf          int   // minimum examples per leaf (default 1)
+	FeaturesPerSplit int   // features sampled per split (default ceil(sqrt(d)))
+	Seed             int64 // RNG seed for bagging and feature sampling
+}
+
+func (o Options) withDefaults(d int) Options {
+	if o.Trees == 0 {
+		o.Trees = 10
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 10
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 1
+	}
+	if o.FeaturesPerSplit == 0 {
+		o.FeaturesPerSplit = int(math.Ceil(math.Sqrt(float64(d))))
+	}
+	return o
+}
+
+// node is one tree node; leaves have feat == -1.
+type node struct {
+	feat        int // split feature, or -1 for a leaf
+	thresh      float64
+	left, right *node
+	vote        bool // leaf majority
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees []*node
+	d     int
+}
+
+// Train fits a forest on the examples. It returns an error when there are
+// no examples or inconsistent feature dimensions.
+func Train(examples []Example, opt Options) (*Forest, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("rforest: no training examples")
+	}
+	d := len(examples[0].X)
+	if d == 0 {
+		return nil, fmt.Errorf("rforest: zero-dimensional features")
+	}
+	for i, ex := range examples {
+		if len(ex.X) != d {
+			return nil, fmt.Errorf("rforest: example %d has %d features, want %d", i, len(ex.X), d)
+		}
+	}
+	opt = opt.withDefaults(d)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	f := &Forest{d: d}
+	for t := 0; t < opt.Trees; t++ {
+		// Bootstrap sample.
+		sample := make([]int, len(examples))
+		for i := range sample {
+			sample[i] = rng.Intn(len(examples))
+		}
+		f.trees = append(f.trees, grow(examples, sample, opt, rng, 0))
+	}
+	return f, nil
+}
+
+// gini returns the Gini impurity of a split count.
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+func majority(examples []Example, idx []int) bool {
+	pos := 0
+	for _, i := range idx {
+		if examples[i].Y {
+			pos++
+		}
+	}
+	return pos*2 >= len(idx)
+}
+
+func grow(examples []Example, idx []int, opt Options, rng *rand.Rand, depth int) *node {
+	pos := 0
+	for _, i := range idx {
+		if examples[i].Y {
+			pos++
+		}
+	}
+	if depth >= opt.MaxDepth || len(idx) < 2*opt.MinLeaf || pos == 0 || pos == len(idx) {
+		return &node{feat: -1, vote: pos*2 >= len(idx)}
+	}
+	d := len(examples[0].X)
+	feats := rng.Perm(d)[:min(opt.FeaturesPerSplit, d)]
+
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for _, feat := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, examples[i].X[feat])
+		}
+		sort.Float64s(vals)
+		for v := 1; v < len(vals); v++ {
+			if vals[v] == vals[v-1] {
+				continue
+			}
+			thresh := (vals[v] + vals[v-1]) / 2
+			lp, ln, rp, rn := 0, 0, 0, 0
+			for _, i := range idx {
+				if examples[i].X[feat] <= thresh {
+					ln++
+					if examples[i].Y {
+						lp++
+					}
+				} else {
+					rn++
+					if examples[i].Y {
+						rp++
+					}
+				}
+			}
+			if ln < opt.MinLeaf || rn < opt.MinLeaf {
+				continue
+			}
+			score := (float64(ln)*gini(lp, ln) + float64(rn)*gini(rp, rn)) / float64(ln+rn)
+			if score < bestScore {
+				bestFeat, bestThresh, bestScore = feat, thresh, score
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{feat: -1, vote: pos*2 >= len(idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if examples[i].X[bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &node{
+		feat:   bestFeat,
+		thresh: bestThresh,
+		left:   grow(examples, left, opt, rng, depth+1),
+		right:  grow(examples, right, opt, rng, depth+1),
+	}
+}
+
+func (n *node) predict(x []float64) bool {
+	for n.feat >= 0 {
+		if x[n.feat] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.vote
+}
+
+// Confidence returns the fraction of trees voting "match" — the positive
+// prediction confidence of Section 5.
+func (f *Forest) Confidence(x []float64) float64 {
+	if len(x) != f.d {
+		return 0
+	}
+	pos := 0
+	for _, t := range f.trees {
+		if t.predict(x) {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(f.trees))
+}
+
+// Predict returns the majority vote.
+func (f *Forest) Predict(x []float64) bool { return f.Confidence(x) >= 0.5 }
+
+// NumTrees returns the forest size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

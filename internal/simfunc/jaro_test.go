@@ -1,0 +1,77 @@
+package simfunc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"same", "same", 1},
+		{"martha", "marhta", 0.944444444444},
+		{"dixon", "dicksonx", 0.766666666667},
+		{"jellyfish", "smellyfish", 0.896296296296},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); !almost6(got, c.want) {
+			t.Errorf("Jaro(%q,%q) = %.9f, want %.9f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func almost6(a, b float64) bool { d := a - b; return d < 1e-6 && d > -1e-6 }
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.961111111111},
+		{"dwayne", "duane", 0.84},
+		{"dixon", "dicksonx", 0.813333333333},
+		{"same", "same", 1},
+		{"abc", "xyz", 0}, // below the 0.7 boost threshold: plain Jaro
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); !almost6(got, c.want) {
+			t.Errorf("JaroWinkler(%q,%q) = %.9f, want %.9f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	randStr := func() string {
+		n := rng.Intn(10)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(byte('a' + rng.Intn(5)))
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 1000; trial++ {
+		a, b := randStr(), randStr()
+		j := Jaro(a, b)
+		if j < 0 || j > 1 {
+			t.Fatalf("Jaro(%q,%q) = %g out of range", a, b, j)
+		}
+		if Jaro(b, a) != j {
+			t.Fatalf("Jaro not symmetric on (%q,%q)", a, b)
+		}
+		jw := JaroWinkler(a, b)
+		if jw < j-1e-12 || jw > 1 {
+			t.Fatalf("JaroWinkler(%q,%q) = %g not in [jaro,1]", a, b, jw)
+		}
+		if Jaro(a, a) != 1 {
+			t.Fatalf("Jaro identity failed for %q", a)
+		}
+	}
+}

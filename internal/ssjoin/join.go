@@ -1,0 +1,236 @@
+package ssjoin
+
+import (
+	"container/heap"
+	"math/bits"
+	"sync/atomic"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/config"
+	"matchcatcher/internal/simfunc"
+)
+
+// scorer computes the exact similarity of a record pair under the config
+// being joined. The joint executor supplies reuse-aware scorers that
+// consult the parent's overlap database before falling back to a merge.
+type scorer func(a, b int32) float64
+
+// runOpts parameterizes one single-config join run.
+type runOpts struct {
+	k     int
+	q     int // compute a pair's score once it has q common prefix tokens
+	m     simfunc.SetMeasure
+	c     *blocker.PairSet // blocker output: pairs to exclude (may be nil)
+	score scorer
+	// seeds are pre-scored pairs (scores already under THIS config,
+	// already C-filtered) used to initialize the top-k list.
+	seeds []ScoredPair
+	// mergeCh optionally delivers a late parent top-k list (adjusted to
+	// this config) while the join runs; drained periodically.
+	mergeCh <-chan []ScoredPair
+	// cancel aborts the run when set (used by the q-selection race).
+	cancel *atomic.Bool
+}
+
+// Candidate-pair states are packed into a map[int64]int32 to keep the
+// join's memory footprint flat on workloads that touch tens of millions of
+// pairs (the paper's W-A dataset): non-negative values count common prefix
+// instances; the sentinels mark pairs already scored or present in C.
+const (
+	pairScored     int32 = -1
+	pairSuppressed int32 = -2
+)
+
+type postings struct {
+	a, b []int32
+}
+
+// instKey packs a token rank and a duplicate-occurrence number.
+func instKey(tok int32, occ int) int64 { return int64(tok)<<4 | int64(occ) }
+
+// instances renders a record's token-instance list under the config:
+// entries with popcount(mask∧γ) = m expand into m instances, preserving
+// the global rare-first order.
+func instances(r *record, m config.Mask) []int64 {
+	mm := uint16(m)
+	out := make([]int64, 0, len(r.entries))
+	for _, e := range r.entries {
+		pc := bits.OnesCount16(e.mask & mm)
+		for occ := 0; occ < pc; occ++ {
+			out = append(out, instKey(e.tok, occ))
+		}
+	}
+	return out
+}
+
+// runJoin executes QJoin (Section 4.1) for one config: an event heap pops
+// the prefix extension with the highest score cap; each extension joins
+// the new token instance against the opposite side's current prefixes via
+// an inverted index; pairs are scored exactly once they accumulate q
+// common instances; at termination every pending pair whose optimistic
+// bound beats the k-th score is scored (the flush that keeps q-deferral
+// exact). Pairs present in the blocker output C are tracked but never
+// emitted (Definition 2.2 searches D = A×B − C).
+func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
+	if opt.q < 1 {
+		opt.q = 1
+	}
+	nA, nB := len(cor.recsA), len(cor.recsB)
+	instA := make([][]int64, nA)
+	instB := make([][]int64, nB)
+	for i := range cor.recsA {
+		instA[i] = instances(&cor.recsA[i], mask)
+	}
+	for i := range cor.recsB {
+		instB[i] = instances(&cor.recsB[i], mask)
+	}
+	posA := make([]int32, nA)
+	posB := make([]int32, nB)
+
+	top := newTopkHeap(opt.k)
+	pairs := make(map[int64]int32)
+	index := make(map[int64]*postings)
+
+	admit := func(key int64, a, b int32) {
+		pairs[key] = pairScored
+		top.offer(ScoredPair{A: a, B: b, Score: opt.score(a, b)})
+	}
+	// absorb folds a parent config's top-k pairs into this run, rescoring
+	// each pair under this config (scores do not transfer across configs;
+	// the scorer answers from the parent's overlap DB when reuse is on).
+	absorb := func(list []ScoredPair) {
+		for _, p := range list {
+			key := pairKey(p.A, p.B)
+			st, seen := pairs[key]
+			if !seen && opt.c.Contains(int(p.A), int(p.B)) {
+				pairs[key] = pairSuppressed
+				continue
+			}
+			if st == pairScored || st == pairSuppressed {
+				continue
+			}
+			admit(key, p.A, p.B)
+		}
+	}
+	absorb(opt.seeds)
+
+	var events eventHeap
+	push := func(side int8, rec int32) {
+		var pos int32
+		var l int
+		if side == 0 {
+			pos, l = posA[rec], len(instA[rec])
+		} else {
+			pos, l = posB[rec], len(instB[rec])
+		}
+		if int(pos) >= l {
+			return
+		}
+		cap := opt.m.ExtendCap(int(pos), l)
+		if top.full() && cap <= top.kthScore() {
+			return // this string can never produce a new top-k pair
+		}
+		heap.Push(&events, event{cap: cap, side: side, rec: rec})
+	}
+	for i := int32(0); i < int32(nA); i++ {
+		push(0, i)
+	}
+	for i := int32(0); i < int32(nB); i++ {
+		push(1, i)
+	}
+
+	touch := func(a, b int32) {
+		key := pairKey(a, b)
+		st, seen := pairs[key]
+		if !seen && opt.c.Contains(int(a), int(b)) {
+			pairs[key] = pairSuppressed
+			return
+		}
+		if st < 0 {
+			return
+		}
+		st++
+		if int(st) >= opt.q {
+			admit(key, a, b)
+			return
+		}
+		pairs[key] = st
+	}
+
+	steps := 0
+	for events.Len() > 0 {
+		if steps++; steps&1023 == 0 {
+			if opt.cancel != nil && opt.cancel.Load() {
+				return top.list(mask)
+			}
+			if opt.mergeCh != nil {
+				select {
+				case list := <-opt.mergeCh:
+					absorb(list)
+				default:
+				}
+			}
+		}
+		ev := events.items[0]
+		if top.full() && ev.cap <= top.kthScore() {
+			break
+		}
+		heap.Pop(&events)
+		var inst int64
+		if ev.side == 0 {
+			inst = instA[ev.rec][posA[ev.rec]]
+			posA[ev.rec]++
+		} else {
+			inst = instB[ev.rec][posB[ev.rec]]
+			posB[ev.rec]++
+		}
+		p := index[inst]
+		if p == nil {
+			p = &postings{}
+			index[inst] = p
+		}
+		if ev.side == 0 {
+			for _, rb := range p.b {
+				touch(ev.rec, rb)
+			}
+			p.a = append(p.a, ev.rec)
+		} else {
+			for _, ra := range p.a {
+				touch(ra, ev.rec)
+			}
+			p.b = append(p.b, ev.rec)
+		}
+		push(ev.side, ev.rec)
+	}
+
+	// Drain any merge list that arrived after the loop ended.
+	if opt.mergeCh != nil {
+		select {
+		case list := <-opt.mergeCh:
+			absorb(list)
+		default:
+		}
+	}
+
+	// Flush: pending pairs (seen < q common instances) may still belong
+	// in the top-k; score those whose optimistic bound beats the k-th
+	// score. Every uncounted common instance lies beyond at least one
+	// final prefix, so overlap <= count + (lx-px) + (ly-py).
+	for key, st := range pairs {
+		if st <= 0 {
+			continue
+		}
+		a := int32(key >> 32)
+		b := int32(uint32(key))
+		lx, ly := len(instA[a]), len(instB[b])
+		oMax := int(st) + (lx - int(posA[a])) + (ly - int(posB[b]))
+		if m := min(lx, ly); oMax > m {
+			oMax = m
+		}
+		if top.full() && opt.m.FromOverlap(oMax, lx, ly) <= top.kthScore() {
+			continue
+		}
+		admit(key, a, b)
+	}
+	return top.list(mask)
+}

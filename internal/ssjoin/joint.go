@@ -1,0 +1,300 @@
+package ssjoin
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/config"
+	"matchcatcher/internal/simfunc"
+)
+
+// AutoQ requests the empirical q selection of Section 4.1: QJoin runs for
+// q = 1..4 concurrently at k = 50, and the first run to finish decides q.
+const AutoQ = -1
+
+// Options tunes the joins.
+type Options struct {
+	// K is the per-config list size (the paper's experiments use 1000).
+	K int
+	// Measure is the set similarity (default Jaccard, the paper's choice).
+	Measure simfunc.SetMeasure
+	// Q is the common-token count that triggers exact scoring. 0 selects
+	// the default (2); AutoQ runs the empirical selection race; 1
+	// reproduces the TopKJoin baseline's eager scoring.
+	Q int
+	// Workers bounds the number of configs processed concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// ReuseMinAvgTokens gates overlap reuse: reuse only pays off for long
+	// tuples, so it triggers only when the average tuple length is at
+	// least this many tokens (default 20, the paper's t).
+	ReuseMinAvgTokens float64
+	// DisableScoreReuse and DisableListReuse turn off the two Section 4.2
+	// reuse mechanisms (for the §6.5 joint-vs-individual ablation).
+	DisableScoreReuse bool
+	DisableListReuse  bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 1000
+	}
+	if o.Q == 0 {
+		o.Q = 2
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ReuseMinAvgTokens == 0 {
+		o.ReuseMinAvgTokens = 20
+	}
+	return o
+}
+
+// Stats reports how the joint executor behaved, for the ablation benches.
+type Stats struct {
+	ScratchScores int64 // pair scores computed by merging token lists
+	ReusedScores  int64 // pair scores answered by a parent's overlap DB
+	QUsed         int   // the q QJoin ran with
+	ReuseActive   bool  // whether the avg-length gate enabled reuse
+}
+
+// JoinResult holds one top-k list per config, in the tree's breadth-first
+// order, plus executor statistics.
+type JoinResult struct {
+	Lists []TopKList
+	Stats Stats
+}
+
+// hdb is one config's overlap database H_γ (Section 4.2): pair key -> the
+// attribute-bitmask pairs of the pair's common tokens. Each writer config
+// owns its own database; writes are insert-only and reads may race with
+// writes (a miss merely falls back to a from-scratch score), which the
+// paper handles with an atomic hashmap and we handle with a mutex.
+type hdb struct {
+	mu sync.RWMutex
+	m  map[int64][]maskPair
+}
+
+// hdbMaxEntries bounds each overlap database. Reuse is best-effort — a
+// miss just means the child scores from scratch — so capping keeps memory
+// flat on workloads that score tens of millions of pairs (the paper's W-A)
+// while still answering the hot pairs that dominate child joins.
+const hdbMaxEntries = 2_000_000
+
+func newHDB() *hdb { return &hdb{m: make(map[int64][]maskPair)} }
+
+func (h *hdb) get(key int64) ([]maskPair, bool) {
+	h.mu.RLock()
+	v, ok := h.m[key]
+	h.mu.RUnlock()
+	return v, ok
+}
+
+func (h *hdb) put(key int64, v []maskPair) {
+	h.mu.Lock()
+	if _, dup := h.m[key]; !dup && len(h.m) < hdbMaxEntries {
+		h.m[key] = v
+	}
+	h.mu.Unlock()
+}
+
+// makeScorer builds the scorer for one config: consult the parent's
+// overlap DB first, fall back to a token-list merge, and record common
+// token masks into the config's own DB when it has children of its own.
+func makeScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfunc.SetMeasure, stats *Stats) scorer {
+	return func(a, b int32) float64 {
+		ra, rb := &cor.recsA[a], &cor.recsB[b]
+		lx, ly := ra.lenUnder(mask), rb.lenUnder(mask)
+		if lx == 0 || ly == 0 {
+			return 0
+		}
+		key := pairKey(a, b)
+		if parentH != nil {
+			if mp, ok := parentH.get(key); ok {
+				o := 0
+				for _, p := range mp {
+					o += p.overlapUnder(mask)
+				}
+				if ownH != nil {
+					ownH.put(key, mp)
+				}
+				atomic.AddInt64(&stats.ReusedScores, 1)
+				return m.FromOverlap(o, lx, ly)
+			}
+		}
+		o, mp := overlapUnder(ra, rb, mask, ownH != nil)
+		if ownH != nil {
+			ownH.put(key, mp)
+		}
+		atomic.AddInt64(&stats.ScratchScores, 1)
+		return m.FromOverlap(o, lx, ly)
+	}
+}
+
+// JoinOne runs QJoin on a single config with no cross-config reuse; it is
+// the per-config unit the joint executor schedules, and doubles as the
+// individual-execution baseline of the §6.5 ablation and the single-config
+// baseline of [29] when given the root config.
+func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) TopKList {
+	opt = opt.withDefaults()
+	var stats Stats
+	if opt.Q == AutoQ {
+		opt.Q = SelectQ(cor, mask, c, opt)
+	}
+	return runJoin(cor, mask, runOpts{
+		k:     opt.K,
+		q:     opt.Q,
+		m:     opt.Measure,
+		c:     c,
+		score: makeScorer(cor, mask, nil, nil, opt.Measure, &stats),
+	})
+}
+
+// SelectQ implements the empirical q selection: QJoin runs for q = 1..4
+// concurrently with k = 50; whichever finishes first decides q (the paper
+// then keeps that run going; we rerun at full k, which costs one small
+// extra join and keeps the scheduler simple).
+func SelectQ(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) int {
+	opt = opt.withDefaults()
+	var cancel atomic.Bool
+	var once sync.Once
+	winner := 2
+	var wg sync.WaitGroup
+	for q := 1; q <= 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			var stats Stats
+			runJoin(cor, mask, runOpts{
+				k:      50,
+				q:      q,
+				m:      opt.Measure,
+				c:      c,
+				score:  makeScorer(cor, mask, nil, nil, opt.Measure, &stats),
+				cancel: &cancel,
+			})
+			if !cancel.Load() {
+				once.Do(func() {
+					winner = q
+					cancel.Store(true)
+				})
+			}
+		}(q)
+	}
+	wg.Wait()
+	return winner
+}
+
+// JoinAll processes every config of the tree jointly (Section 4.2):
+// configs are scheduled to workers in breadth-first order; writer configs
+// (those with children) populate overlap databases their children reuse;
+// a child seeds its top-k list from its parent's finished list, or starts
+// empty and merges the parent's list when it arrives mid-run.
+func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
+	opt = opt.withDefaults()
+	res := &JoinResult{}
+	res.Stats.ReuseActive = !opt.DisableScoreReuse && cor.AvgTokens >= opt.ReuseMinAvgTokens
+
+	nodes := cor.Res.Nodes()
+	q := opt.Q
+	if q == AutoQ {
+		q = SelectQ(cor, nodes[0].Mask, c, opt)
+	}
+	res.Stats.QUsed = q
+
+	idxOf := make(map[*config.Node]int, len(nodes))
+	for i, n := range nodes {
+		idxOf[n] = i
+	}
+	lists := make([]TopKList, len(nodes))
+	done := make([]atomic.Bool, len(nodes))
+	dbs := make([]*hdb, len(nodes))
+	mergeChs := make([]chan []ScoredPair, len(nodes))
+	for i, n := range nodes {
+		if len(n.Children) > 0 && res.Stats.ReuseActive {
+			dbs[i] = newHDB()
+		}
+		if n.Parent != nil && !opt.DisableListReuse {
+			mergeChs[i] = make(chan []ScoredPair, 1)
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				n := nodes[i]
+				var parentH *hdb
+				if n.Parent != nil && res.Stats.ReuseActive {
+					parentH = dbs[idxOf[n.Parent]]
+				}
+				ro := runOpts{
+					k:     opt.K,
+					q:     q,
+					m:     opt.Measure,
+					c:     c,
+					score: makeScorer(cor, n.Mask, parentH, dbs[i], opt.Measure, &res.Stats),
+				}
+				if n.Parent != nil && !opt.DisableListReuse {
+					if pi := idxOf[n.Parent]; done[pi].Load() {
+						ro.seeds = lists[pi].Pairs
+					} else {
+						ro.mergeCh = mergeChs[i]
+					}
+				}
+				lists[i] = runJoin(cor, n.Mask, ro)
+				done[i].Store(true)
+				for _, ch := range n.Children {
+					ci := idxOf[ch]
+					if mergeChs[ci] == nil {
+						continue
+					}
+					select {
+					case mergeChs[ci] <- lists[i].Pairs:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i := range nodes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	res.Lists = lists
+	return res
+}
+
+// BruteForce computes a config's exact top-k list by scoring every pair
+// not in C — the reference implementation the property tests compare
+// QJoin against, and a usable fallback for tiny tables.
+func BruteForce(cor *Corpus, mask config.Mask, c *blocker.PairSet, k int, m simfunc.SetMeasure) TopKList {
+	top := newTopkHeap(k)
+	for a := range cor.recsA {
+		ra := &cor.recsA[a]
+		lx := ra.lenUnder(mask)
+		if lx == 0 {
+			continue
+		}
+		for b := range cor.recsB {
+			if c.Contains(a, b) {
+				continue
+			}
+			rb := &cor.recsB[b]
+			ly := rb.lenUnder(mask)
+			if ly == 0 {
+				continue
+			}
+			o, _ := overlapUnder(ra, rb, mask, false)
+			top.offer(ScoredPair{A: int32(a), B: int32(b), Score: m.FromOverlap(o, lx, ly)})
+		}
+	}
+	return top.list(mask)
+}

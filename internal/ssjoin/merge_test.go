@@ -1,0 +1,113 @@
+package ssjoin
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"matchcatcher/internal/simfunc"
+)
+
+// TestMergeChannelAbsorbsParentList drives runJoin directly with a primed
+// merge channel, the path a child takes when its parent config finishes
+// mid-run (Section 4.2's "merge the parent's list when it arrives").
+func TestMergeChannelAbsorbsParentList(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cor, res, c := randomCorpus(t, rng, 30, 30)
+	mask := res.Root.Mask
+	var stats Stats
+	score := makeScorer(cor, mask, nil, nil, simfunc.Jaccard, &stats)
+
+	// The "parent list" here is just the true top-k itself; absorbing it
+	// must not corrupt the result (rescoring + dedup are exercised).
+	parent := BruteForce(cor, mask, c, 10, simfunc.Jaccard)
+	ch := make(chan []ScoredPair, 1)
+	ch <- parent.Pairs
+
+	got := runJoin(cor, mask, runOpts{
+		k: 10, q: 2, m: simfunc.Jaccard, c: c,
+		score:   score,
+		mergeCh: ch,
+	})
+	want := BruteForce(cor, mask, c, 10, simfunc.Jaccard)
+	gs, ws := scoresOf(got), scoresOf(want)
+	if len(gs) != len(ws) {
+		t.Fatalf("len %d vs %d", len(gs), len(ws))
+	}
+	for i := range gs {
+		if math.Abs(gs[i]-ws[i]) > 1e-9 {
+			t.Fatalf("score[%d] = %g, want %g", i, gs[i], ws[i])
+		}
+	}
+}
+
+// TestSeedsIdenticalToMerge: seeding up front and merging mid-run must
+// produce the same score sequence.
+func TestSeedsIdenticalToMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	cor, res, c := randomCorpus(t, rng, 25, 25)
+	mask := res.Root.Mask
+	var stats Stats
+	parent := BruteForce(cor, mask, c, 8, simfunc.Jaccard)
+
+	seeded := runJoin(cor, mask, runOpts{
+		k: 8, q: 2, m: simfunc.Jaccard, c: c,
+		score: makeScorer(cor, mask, nil, nil, simfunc.Jaccard, &stats),
+		seeds: parent.Pairs,
+	})
+	ch := make(chan []ScoredPair, 1)
+	ch <- parent.Pairs
+	merged := runJoin(cor, mask, runOpts{
+		k: 8, q: 2, m: simfunc.Jaccard, c: c,
+		score:   makeScorer(cor, mask, nil, nil, simfunc.Jaccard, &stats),
+		mergeCh: ch,
+	})
+	ss, ms := scoresOf(seeded), scoresOf(merged)
+	if len(ss) != len(ms) {
+		t.Fatalf("len %d vs %d", len(ss), len(ms))
+	}
+	for i := range ss {
+		if math.Abs(ss[i]-ms[i]) > 1e-9 {
+			t.Fatalf("score[%d]: seeded %g merged %g", i, ss[i], ms[i])
+		}
+	}
+}
+
+// TestCancelStopsRun: the q-selection race relies on cancellation.
+func TestCancelStopsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cor, res, c := randomCorpus(t, rng, 40, 40)
+	var stats Stats
+	opts := runOpts{
+		k: 20, q: 2, m: simfunc.Jaccard, c: c,
+		score: makeScorer(cor, res.Root.Mask, nil, nil, simfunc.Jaccard, &stats),
+	}
+	var cancel atomic.Bool
+	cancel.Store(true)
+	opts.cancel = &cancel
+	got := runJoin(cor, res.Root.Mask, opts)
+	// A cancelled run returns early with whatever it has; it must not
+	// panic and must return a valid (possibly short) list.
+	if len(got.Pairs) > 20 {
+		t.Errorf("cancelled run returned %d pairs", len(got.Pairs))
+	}
+}
+
+// TestHDBCap: the overlap database stops growing at its cap but keeps
+// answering stored pairs.
+func TestHDBCap(t *testing.T) {
+	h := newHDB()
+	h.put(1, []maskPair{packMasks(1, 1)})
+	if v, ok := h.get(1); !ok || len(v) != 1 {
+		t.Fatal("stored pair not retrievable")
+	}
+	if _, ok := h.get(2); ok {
+		t.Fatal("phantom pair")
+	}
+	// Duplicate puts do not overwrite.
+	h.put(1, nil)
+	if v, ok := h.get(1); !ok || len(v) != 1 {
+		t.Error("duplicate put overwrote entry")
+	}
+}

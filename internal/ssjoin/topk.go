@@ -1,0 +1,129 @@
+package ssjoin
+
+import (
+	"container/heap"
+	"sort"
+
+	"matchcatcher/internal/config"
+)
+
+// ScoredPair is a candidate tuple pair with its similarity score under one
+// config.
+type ScoredPair struct {
+	A, B  int32
+	Score float64
+}
+
+// TopKList is the result of one config's top-k join, sorted by decreasing
+// score (ties by pair for determinism).
+type TopKList struct {
+	Config config.Mask
+	Pairs  []ScoredPair
+}
+
+func pairKey(a, b int32) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+// topkHeap is a bounded min-heap holding the current top-k pairs; the root
+// is the k-th (worst retained) score.
+type topkHeap struct {
+	k     int
+	items []ScoredPair
+}
+
+func newTopkHeap(k int) *topkHeap { return &topkHeap{k: k} }
+
+func (h *topkHeap) Len() int { return len(h.items) }
+func (h *topkHeap) Less(i, j int) bool {
+	if h.items[i].Score != h.items[j].Score {
+		return h.items[i].Score < h.items[j].Score
+	}
+	// Deterministic tie order: larger pair ids are "worse", so equal-score
+	// boundaries resolve the same way regardless of arrival order.
+	if h.items[i].A != h.items[j].A {
+		return h.items[i].A > h.items[j].A
+	}
+	return h.items[i].B > h.items[j].B
+}
+func (h *topkHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topkHeap) Push(x interface{}) { h.items = append(h.items, x.(ScoredPair)) }
+func (h *topkHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// kthScore returns the score a new pair must strictly beat to be retained,
+// or 0 while the heap is not yet full.
+func (h *topkHeap) kthScore() float64 {
+	if len(h.items) < h.k {
+		return 0
+	}
+	return h.items[0].Score
+}
+
+func (h *topkHeap) full() bool { return len(h.items) >= h.k }
+
+// offer inserts the pair if it belongs in the top-k.
+func (h *topkHeap) offer(p ScoredPair) {
+	if p.Score <= 0 {
+		return
+	}
+	if len(h.items) < h.k {
+		heap.Push(h, p)
+		return
+	}
+	if p.Score > h.items[0].Score {
+		h.items[0] = p
+		heap.Fix(h, 0)
+	}
+}
+
+// list extracts the sorted TopKList.
+func (h *topkHeap) list(m config.Mask) TopKList {
+	out := make([]ScoredPair, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return TopKList{Config: m, Pairs: out}
+}
+
+// eventHeap is a max-heap of prefix-extension events, keyed by the cap on
+// the score of any new pair the extension can produce (Section 4.1).
+type eventHeap struct {
+	items []event
+}
+
+type event struct {
+	cap  float64
+	side int8 // 0 = A, 1 = B
+	rec  int32
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+func (h *eventHeap) Less(i, j int) bool {
+	if h.items[i].cap != h.items[j].cap {
+		return h.items[i].cap > h.items[j].cap
+	}
+	if h.items[i].side != h.items[j].side {
+		return h.items[i].side < h.items[j].side
+	}
+	return h.items[i].rec < h.items[j].rec
+}
+func (h *eventHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) Push(x interface{}) { h.items = append(h.items, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,158 @@
+// Package tokenize provides the string tokenizers used by blockers and by
+// the top-k string similarity join: whitespace/punctuation word tokens and
+// character q-grams, with optional normalization.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lowercases s and collapses runs of whitespace into single
+// spaces. Blockers and the SSJ normalize values before tokenizing so that
+// case noise does not defeat set-based similarity (the paper's Table 4
+// lists "input tables are not lower-cased" as a real blocker problem the
+// debugger surfaced; the debugger itself is robust to it).
+func Normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// Words splits s into word tokens: maximal runs of letters and digits,
+// lowercased. Punctuation separates tokens ("O'Brien" -> ["o", "brien"]).
+func Words(s string) []string {
+	var toks []string
+	start := -1
+	lower := strings.ToLower(s)
+	for i, r := range lower {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			toks = append(toks, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		toks = append(toks, lower[start:])
+	}
+	return toks
+}
+
+// WordSet returns the distinct word tokens of s in first-occurrence order.
+func WordSet(s string) []string {
+	return dedup(Words(s))
+}
+
+// QGrams returns the character q-grams of the normalized form of s,
+// including duplicates, in order. Strings shorter than q yield a single
+// gram holding the whole string (if non-empty). q must be positive.
+func QGrams(s string, q int) []string {
+	if q <= 0 {
+		panic("tokenize: QGrams requires q > 0")
+	}
+	n := Normalize(s)
+	if n == "" {
+		return nil
+	}
+	runes := []rune(n)
+	if len(runes) <= q {
+		return []string{string(runes)}
+	}
+	grams := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+q]))
+	}
+	return grams
+}
+
+// QGramSet returns the distinct q-grams of s in first-occurrence order.
+func QGramSet(s string, q int) []string {
+	return dedup(QGrams(s, q))
+}
+
+// LastWord returns the final word token of s, or "" if s has none. It
+// backs hash blockers such as lastword(a.Name) = lastword(b.Name) from the
+// paper's running example.
+func LastWord(s string) string {
+	w := Words(s)
+	if len(w) == 0 {
+		return ""
+	}
+	return w[len(w)-1]
+}
+
+// FirstWord returns the first word token of s, or "" if s has none.
+func FirstWord(s string) string {
+	w := Words(s)
+	if len(w) == 0 {
+		return ""
+	}
+	return w[0]
+}
+
+// A Tokenizer converts a string into tokens. The two standard tokenizers
+// are word-level and 3-gram; blocker predicates name them "word" and
+// "3gram" (Table 2 of the paper).
+type Tokenizer interface {
+	// Tokens returns the token set (distinct tokens) of s.
+	Tokens(s string) []string
+	// Name returns the tokenizer's name as used in blocker expressions.
+	Name() string
+}
+
+// WordTokenizer tokenizes into distinct word tokens.
+type WordTokenizer struct{}
+
+// Tokens implements Tokenizer.
+func (WordTokenizer) Tokens(s string) []string { return WordSet(s) }
+
+// Name implements Tokenizer.
+func (WordTokenizer) Name() string { return "word" }
+
+// QGramTokenizer tokenizes into distinct character q-grams.
+type QGramTokenizer struct{ Q int }
+
+// Tokens implements Tokenizer.
+func (g QGramTokenizer) Tokens(s string) []string { return QGramSet(s, g.Q) }
+
+// Name implements Tokenizer.
+func (g QGramTokenizer) Name() string {
+	switch g.Q {
+	case 3:
+		return "3gram"
+	default:
+		return "qgram"
+	}
+}
+
+// ByName returns the tokenizer for a name used in blocker expressions:
+// "word" or "3gram" (or "qgram", an alias for 3-gram). It returns false
+// for unknown names.
+func ByName(name string) (Tokenizer, bool) {
+	switch name {
+	case "word":
+		return WordTokenizer{}, true
+	case "3gram", "qgram":
+		return QGramTokenizer{Q: 3}, true
+	}
+	return nil, false
+}
+
+func dedup(toks []string) []string {
+	if len(toks) < 2 {
+		return toks
+	}
+	seen := make(map[string]struct{}, len(toks))
+	out := toks[:0]
+	for _, t := range toks {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package matchcatcher
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the package-level API end to end, the
+// way the doc comment's quick start does.
+func TestFacadeQuickstart(t *testing.T) {
+	csvA := "name,city\nDave Smith,Altanta\nJoe Welson,New York\nCharles Williams,Chicago\n"
+	csvB := "name,city\nDavid Smith,Atlanta\nJoe Wilson,NY\nCharles Williams,Chicago\n"
+	a, err := ReadCSV("A", strings.NewReader(csvA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadCSV("B", strings.NewReader(csvB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := AttrEquivalence("city")
+	c, err := q.Block(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 { // only Chicago agrees
+		t.Fatalf("C = %d pairs", c.Len())
+	}
+	dbg, err := New(a, b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := map[Pair]bool{{A: 0, B: 0}: true, {A: 1, B: 1}: true, {A: 2, B: 2}: true}
+	for !dbg.Done() {
+		pairs := dbg.Next()
+		if len(pairs) == 0 {
+			break
+		}
+		labels := make([]bool, len(pairs))
+		for i, p := range pairs {
+			labels[i] = gold[p]
+		}
+		if err := dbg.Feedback(labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found := map[Pair]bool{}
+	for _, m := range dbg.Matches() {
+		found[m] = true
+	}
+	if !found[(Pair{A: 0, B: 0})] || !found[(Pair{A: 1, B: 1})] {
+		t.Errorf("matches = %v", dbg.Matches())
+	}
+	ex := dbg.Explain(Pair{A: 0, B: 0})
+	if len(ex.Notes) == 0 {
+		t.Error("no explanation notes")
+	}
+}
+
+func TestFacadeRuleParsing(t *testing.T) {
+	if _, err := ParseDropRule("r", "title_jac_word < 0.4"); err != nil {
+		t.Errorf("ParseDropRule: %v", err)
+	}
+	if _, err := ParseDropRule("r", "((("); err == nil {
+		t.Error("ParseDropRule should fail on junk")
+	}
+	k, err := ParseKeepRule("k", "attr_equal_city OR lastword(name)_ed <= 2")
+	if err != nil {
+		t.Fatalf("ParseKeepRule: %v", err)
+	}
+	if k.Name() != "k" {
+		t.Errorf("name = %q", k.Name())
+	}
+	if _, err := ParseKeepRule("k", ")"); err == nil {
+		t.Error("ParseKeepRule should fail on junk")
+	}
+}
+
+func TestFacadeUnionAndPairSet(t *testing.T) {
+	a, _ := NewTable("A", []string{"x"})
+	b, _ := NewTable("B", []string{"x"})
+	u := UnionBlocker("u", AttrEquivalence("x"))
+	c, err := u.Block(a, b)
+	if err != nil || c.Len() != 0 {
+		t.Errorf("empty union block: %v %d", err, c.Len())
+	}
+	s := NewPairSet()
+	s.Add(1, 2)
+	if !s.Contains(1, 2) {
+		t.Error("pair set")
+	}
+}
