@@ -18,6 +18,7 @@ import (
 	"matchcatcher/internal/ranker"
 	"matchcatcher/internal/rforest"
 	"matchcatcher/internal/ssjoin"
+	"matchcatcher/internal/telemetry"
 )
 
 var (
@@ -247,6 +248,30 @@ func BenchmarkMedRank(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ranker.MedRank(jr.Lists, 1)
+	}
+}
+
+// BenchmarkJoinOneM2Instrumented and BenchmarkJoinOneM2Uninstrumented
+// bound the telemetry subsystem's overhead on the Figure-9 M2 workload
+// (Music2 profile, the HASH1 artist_name blocker, root config): the same
+// JoinOne with a live registry vs. telemetry.Disabled(). The hot path
+// keeps plain per-goroutine counters and flushes to shared instruments
+// once per config join, so the two must stay within 5% of each other
+// (recorded in BENCH_telemetry_overhead.json).
+func BenchmarkJoinOneM2Instrumented(b *testing.B) {
+	cor, res, c := benchCorpus(b, datagen.Music2().Scaled(0.1), "artist_name")
+	reg := telemetry.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ssjoin.JoinOne(cor, res.Root.Mask, c, ssjoin.Options{K: 1000, Q: 2, Metrics: reg})
+	}
+}
+
+func BenchmarkJoinOneM2Uninstrumented(b *testing.B) {
+	cor, res, c := benchCorpus(b, datagen.Music2().Scaled(0.1), "artist_name")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ssjoin.JoinOne(cor, res.Root.Mask, c, ssjoin.Options{K: 1000, Q: 2, Metrics: telemetry.Disabled()})
 	}
 }
 

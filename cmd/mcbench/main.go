@@ -7,59 +7,134 @@
 // Experiments: table1, table3, table4, hashdebug, learned, fig9,
 // ablate-config, ablate-long, ablate-joint, ablate-verifier, sensitivity,
 // all. -datasets filters table3 to a comma-separated dataset list.
+//
+// With -json the experiment's rows are emitted to stdout as one JSON
+// document {"exp", "scale", "rows", "telemetry"} — the telemetry field is
+// the run's full metrics snapshot (prune rates, reuse hit rates, stage
+// latencies) — and progress lines move to stderr so stdout stays valid
+// JSON. -metrics-addr additionally serves live Prometheus /metrics.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"matchcatcher/internal/experiments"
+	"matchcatcher/internal/telemetry"
 )
 
-// jsonOut switches reports from aligned text tables to indented JSON.
-var jsonOut bool
+// cliOptions are mcbench's parsed flags.
+type cliOptions struct {
+	Exp         string
+	Scale       float64
+	K           int
+	Seed        int64
+	Datasets    string
+	JSON        bool
+	MetricsAddr string
+}
 
-// emit prints rows as JSON when -json is set, else the formatted table.
-func emit(rows interface{}, text string) error {
-	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rows)
+// parseFlags parses argv (without the program name) into options.
+func parseFlags(args []string) (cliOptions, error) {
+	var o cliOptions
+	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
+	fs.StringVar(&o.Exp, "exp", "table3", "experiment to run")
+	fs.Float64Var(&o.Scale, "scale", 1, "dataset scale factor")
+	fs.IntVar(&o.K, "k", 1000, "top-k per config")
+	fs.Int64Var(&o.Seed, "seed", 1, "random seed")
+	fs.StringVar(&o.Datasets, "datasets", "", "comma-separated dataset filter (table3, fig9)")
+	fs.BoolVar(&o.JSON, "json", false, "emit JSON (rows + telemetry snapshot) instead of text tables")
+	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics (plus expvar and pprof) on this address, e.g. :8080")
+	if err := fs.Parse(args); err != nil {
+		return o, err
 	}
-	fmt.Print(text)
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
+// bench is one mcbench invocation with its output streams, so tests can
+// capture stdout/stderr separately.
+type bench struct {
+	opts   cliOptions
+	stdout io.Writer
+	stderr io.Writer
+}
+
+// progress prints human chatter: stdout normally, stderr under -json so
+// stdout remains a single valid JSON document.
+func (c *bench) progress(format string, args ...interface{}) {
+	w := c.stdout
+	if c.opts.JSON {
+		w = c.stderr
+	}
+	fmt.Fprintf(w, format, args...)
+}
+
+// jsonReport is the -json output envelope.
+type jsonReport struct {
+	Exp       string              `json:"exp"`
+	Scale     float64             `json:"scale"`
+	Rows      interface{}         `json:"rows"`
+	Telemetry *telemetry.Snapshot `json:"telemetry"`
+}
+
+// emit prints rows as JSON (with the run's telemetry snapshot) when
+// -json is set, else the formatted text table.
+func (c *bench) emit(rows interface{}, text string) error {
+	if c.opts.JSON {
+		enc := json.NewEncoder(c.stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonReport{
+			Exp:       c.opts.Exp,
+			Scale:     c.opts.Scale,
+			Rows:      rows,
+			Telemetry: telemetry.Default().Snapshot(),
+		})
+	}
+	fmt.Fprint(c.stdout, text)
 	return nil
 }
 
 func main() {
-	exp := flag.String("exp", "table3", "experiment to run")
-	scale := flag.Float64("scale", 1, "dataset scale factor")
-	k := flag.Int("k", 1000, "top-k per config")
-	seed := flag.Int64("seed", 1, "random seed")
-	datasets := flag.String("datasets", "", "comma-separated dataset filter (table3)")
-	flag.BoolVar(&jsonOut, "json", false, "emit JSON instead of text tables")
-	flag.Parse()
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	c := &bench{opts: opts, stdout: os.Stdout, stderr: os.Stderr}
+	if opts.MetricsAddr != "" {
+		srv, addr, err := telemetry.Default().Serve(opts.MetricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		c.progress("metrics: http://%s/metrics\n", addr)
+	}
 
-	env := experiments.NewEnv(*scale)
-	opt := experiments.DebugOptions{K: *k, Seed: *seed}
+	env := experiments.NewEnv(opts.Scale)
+	opt := experiments.DebugOptions{K: opts.K, Seed: opts.Seed}
 	start := time.Now()
-	if err := run(env, *exp, *datasets, opt); err != nil {
+	if err := c.run(env, opts.Exp, opts.Datasets, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "mcbench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n[%s done in %s at scale %g]\n", *exp, time.Since(start).Round(time.Millisecond), *scale)
+	c.progress("\n[%s done in %s at scale %g]\n", opts.Exp, time.Since(start).Round(time.Millisecond), opts.Scale)
 }
 
-func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOptions) error {
+func (c *bench) run(env *experiments.Env, exp, datasets string, opt experiments.DebugOptions) error {
 	switch exp {
 	case "all":
 		for _, e := range []string{"table1", "table3", "table4", "hashdebug", "learned",
 			"fig9", "ablate-config", "ablate-long", "ablate-joint", "ablate-verifier", "sensitivity"} {
-			fmt.Printf("\n===== %s =====\n", e)
-			if err := run(env, e, datasets, opt); err != nil {
+			c.progress("\n===== %s =====\n", e)
+			if err := c.run(env, e, datasets, opt); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
 		}
@@ -70,7 +145,7 @@ func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOption
 		if err != nil {
 			return err
 		}
-		return emit(rows, experiments.FormatTable1(rows))
+		return c.emit(rows, experiments.FormatTable1(rows))
 
 	case "table3":
 		specs := experiments.Table2Blockers()
@@ -94,32 +169,32 @@ func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOption
 				return err
 			}
 			rows = append(rows, row)
-			fmt.Printf("done %s/%s: C=%d M_D=%d E=%d M_E=%d F=%d I=%d (topk %.1fs)\n",
+			c.progress("done %s/%s: C=%d M_D=%d E=%d M_E=%d F=%d I=%d (topk %.1fs)\n",
 				row.Dataset, row.Blocker, row.C, row.MD, row.E, row.ME, row.F, row.I, row.TopKTime.Seconds())
 		}
-		fmt.Println()
-		return emit(rows, experiments.FormatTable3(rows))
+		c.progress("\n")
+		return c.emit(rows, experiments.FormatTable3(rows))
 
 	case "table4":
 		rows, err := env.RunTable4(opt)
 		if err != nil {
 			return err
 		}
-		return emit(rows, experiments.FormatTable4(rows))
+		return c.emit(rows, experiments.FormatTable4(rows))
 
 	case "hashdebug":
 		rows, err := env.RunHashDebugAll(opt)
 		if err != nil {
 			return err
 		}
-		return emit(rows, experiments.FormatHashDebug(rows))
+		return c.emit(rows, experiments.FormatHashDebug(rows))
 
 	case "learned":
 		rows, err := env.RunLearned(3, opt)
 		if err != nil {
 			return err
 		}
-		return emit(rows, experiments.FormatLearned(rows))
+		return c.emit(rows, experiments.FormatLearned(rows))
 
 	case "fig9":
 		// Sweep one dataset fraction at a time and print points as they
@@ -162,12 +237,12 @@ func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOption
 				points = append(points, ps...)
 			}
 			for _, p := range points {
-				fmt.Printf("point %s/%s k=%d pct=%d%% %.2fs\n", p.Dataset, p.Blocker, p.K, p.Pct, p.Seconds)
+				c.progress("point %s/%s k=%d pct=%d%% %.2fs\n", p.Dataset, p.Blocker, p.K, p.Pct, p.Seconds)
 			}
 			all = append(all, points...)
 		}
-		fmt.Println()
-		return emit(all, experiments.FormatFig9(all))
+		c.progress("\n")
+		return c.emit(all, experiments.FormatFig9(all))
 
 	case "ablate-config":
 		// One representative blocker per dataset (W-A's joins run for
@@ -184,7 +259,7 @@ func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOption
 		if err != nil {
 			return err
 		}
-		return emit(rows, experiments.FormatMultiConfig(rows))
+		return c.emit(rows, experiments.FormatMultiConfig(rows))
 
 	case "ablate-long":
 		// A-G is the long-attribute dataset (its descriptions dominate
@@ -195,7 +270,7 @@ func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOption
 		if err != nil {
 			return err
 		}
-		return emit(rows, experiments.FormatLongAttr(rows))
+		return c.emit(rows, experiments.FormatLongAttr(rows))
 
 	case "ablate-joint":
 		specs := []experiments.Spec{
@@ -208,7 +283,7 @@ func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOption
 		if err != nil {
 			return err
 		}
-		return emit(rows, experiments.FormatJoint(rows))
+		return c.emit(rows, experiments.FormatJoint(rows))
 
 	case "ablate-verifier":
 		specs := []experiments.Spec{
@@ -220,7 +295,7 @@ func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOption
 		if err != nil {
 			return err
 		}
-		return emit(rows, experiments.FormatVerifierAblation(rows))
+		return c.emit(rows, experiments.FormatVerifierAblation(rows))
 
 	case "sensitivity":
 		spec := experiments.SpecsFor("A-G")[1] // HASH, the richest M_D
@@ -236,7 +311,7 @@ func run(env *experiments.Env, exp, datasets string, opt experiments.DebugOption
 			K  []experiments.SensitivityPoint
 			AL []experiments.ALSensitivityPoint
 		}{points, al}
-		return emit(combined,
+		return c.emit(combined,
 			experiments.FormatSensitivityK(points)+"\n"+experiments.FormatSensitivityAL(al))
 	}
 	return fmt.Errorf("unknown experiment %q", exp)

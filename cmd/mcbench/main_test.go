@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"matchcatcher/internal/experiments"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Exp != "table3" || o.Scale != 1 || o.K != 1000 || o.Seed != 1 || o.JSON || o.Datasets != "" || o.MetricsAddr != "" {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestParseFlagsValues(t *testing.T) {
+	o, err := parseFlags([]string{"-exp", "fig9", "-scale", "0.25", "-k", "100",
+		"-seed", "7", "-datasets", "M2", "-json", "-metrics-addr", ":0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Exp != "fig9" || o.Scale != 0.25 || o.K != 100 || o.Seed != 7 ||
+		o.Datasets != "M2" || !o.JSON || o.MetricsAddr != ":0" {
+		t.Errorf("parsed = %+v", o)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	if _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Error("want error for unknown flag")
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Error("want error for stray positional argument")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	c := &bench{opts: cliOptions{Exp: "nope"}, stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}}
+	err := c.run(experiments.NewEnv(1), "nope", "", experiments.DebugOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v, want unknown experiment", err)
+	}
+}
+
+// TestJSONOutputIsValid runs a real (tiny) experiment with -json and
+// checks that stdout is one valid JSON document carrying both the rows
+// and the run's telemetry snapshot, with progress chatter on stderr.
+func TestJSONOutputIsValid(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	opts := cliOptions{Exp: "table3", Scale: 1, K: 100, Seed: 1, Datasets: "F-Z", JSON: true}
+	c := &bench{opts: opts, stdout: &stdout, stderr: &stderr}
+	env := experiments.NewEnv(opts.Scale) // F-Z is tiny even at full scale
+	if err := c.run(env, opts.Exp, opts.Datasets, experiments.DebugOptions{K: opts.K, Seed: opts.Seed}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !json.Valid(stdout.Bytes()) {
+		t.Fatalf("-json stdout is not valid JSON:\n%s", stdout.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exp != "table3" {
+		t.Errorf("exp = %q", rep.Exp)
+	}
+	rows, ok := rep.Rows.([]interface{})
+	if !ok || len(rows) == 0 {
+		t.Errorf("rows = %#v, want non-empty array", rep.Rows)
+	}
+	if rep.Telemetry == nil || rep.Telemetry.NumSeries() == 0 {
+		t.Fatal("telemetry snapshot missing from -json output")
+	}
+	found := 0
+	for k := range rep.Telemetry.Counters {
+		if strings.HasPrefix(k, "mc_") {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Errorf("no mc_* counters in snapshot: %v", rep.Telemetry.Counters)
+	}
+	// Progress chatter must not leak into the JSON stream.
+	if !strings.Contains(stderr.String(), "done F-Z/") {
+		t.Errorf("progress lines missing from stderr: %q", stderr.String())
+	}
+}

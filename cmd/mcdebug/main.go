@@ -28,6 +28,7 @@ import (
 	"matchcatcher/internal/core"
 	"matchcatcher/internal/oracle"
 	"matchcatcher/internal/table"
+	"matchcatcher/internal/telemetry"
 )
 
 type listFlag []string
@@ -43,11 +44,22 @@ func main() {
 	k := flag.Int("k", 1000, "top-k per config")
 	seed := flag.Int64("seed", 1, "random seed")
 	report := flag.String("report", "", "write a JSON session report to this path")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics (plus expvar and pprof) on this address, e.g. :8080")
 	var drops, keeps, equals listFlag
 	flag.Var(&drops, "drop", "kill-rule expression (repeatable)")
 	flag.Var(&keeps, "keep", "keep-rule expression (repeatable)")
 	flag.Var(&equals, "attr-equal", "attribute-equivalence blocker on this attribute (repeatable)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, addr, err := telemetry.Default().Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdebug:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", addr)
+	}
 
 	if err := run(*aPath, *bPath, *goldPath, *report, *n, *k, *seed, drops, keeps, equals); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdebug:", err)

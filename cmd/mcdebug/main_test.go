@@ -1,9 +1,14 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"matchcatcher/internal/telemetry"
 )
 
 func TestBuildBlocker(t *testing.T) {
@@ -57,6 +62,81 @@ func TestReadGold(t *testing.T) {
 	}
 	if _, err := readGold(filepath.Join(dir, "missing.csv")); err == nil {
 		t.Error("want error for missing file")
+	}
+}
+
+// TestMetricsEndpointAfterDebugSession runs a full (tiny) auto-labeled
+// debug session with the metrics listener up — the -metrics-addr wiring —
+// and checks that /metrics then serves a healthy number of distinct mc_*
+// series covering every pipeline layer.
+func TestMetricsEndpointAfterDebugSession(t *testing.T) {
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.csv")
+	bPath := filepath.Join(dir, "b.csv")
+	goldPath := filepath.Join(dir, "gold.csv")
+	// The paper's Figure 1 running example.
+	os.WriteFile(aPath, []byte("Name,City,Age\n"+
+		"Dave Smith,Altanta,18\n"+
+		"Daniel Smith,LA,18\n"+
+		"Joe Welson,New York,25\n"+
+		"Charles Williams,Chicago,45\n"+
+		"Charlie William,Atlanta,28\n"), 0o644)
+	os.WriteFile(bPath, []byte("Name,City,Age\n"+
+		"David Smith,Atlanta,18\n"+
+		"Joe Wilson,NY,25\n"+
+		"Daniel W. Smith,LA,30\n"+
+		"Charles Williams,Chicago,45\n"), 0o644)
+	os.WriteFile(goldPath, []byte("a_row,b_row\n0,0\n1,2\n2,1\n3,3\n"), 0o644)
+
+	srv, addr, err := telemetry.Default().Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reportPath := filepath.Join(dir, "report.json")
+	if err := run(aPath, bPath, goldPath, reportPath, 3, 100, 1, nil, nil, []string{"City"}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	series := map[string]bool{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "mc_") {
+			continue
+		}
+		key := line[:strings.IndexAny(line, " {")]
+		series[key] = true
+	}
+	if len(series) < 10 {
+		t.Errorf("got %d distinct mc_* series, want >= 10:\n%s", len(series), body)
+	}
+	for _, want := range []string{
+		"mc_blocker_pairs_total",   // blocking layer
+		"mc_ssjoin_prefix_events",  // join layer
+		"mc_ranker_iterations",     // verifier layer
+		"mc_core_e_size",           // pipeline gauges
+		"mc_core_iteration_second", // iteration latency
+		"mc_stage_seconds",         // stage spans
+	} {
+		found := false
+		for s := range series {
+			if strings.HasPrefix(s, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s* series exported", want)
+		}
+	}
+	if data, err := os.ReadFile(reportPath); err != nil || !strings.Contains(string(data), `"telemetry"`) {
+		t.Errorf("session report missing telemetry snapshot (err=%v)", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"matchcatcher/internal/table"
 )
@@ -63,6 +64,10 @@ func (c *Concurrent) Block(a, b *table.Table) (*PairSet, error) {
 	if workers <= 1 {
 		return c.Inner.Block(a, b)
 	}
+	sp := startBlock(c.Name())
+	reg := metrics()
+	partSeconds := reg.Histogram("mc_blocker_partition_seconds")
+	reg.Gauge("mc_blocker_partitions").Set(float64(workers))
 	type result struct {
 		lo    int
 		pairs *PairSet
@@ -83,7 +88,9 @@ func (c *Concurrent) Block(a, b *table.Table) (*PairSet, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			start := time.Now()
 			ps, err := c.Inner.Block(a, b.Range(lo, hi))
+			partSeconds.Observe(time.Since(start).Seconds())
 			results[w] = result{lo: lo, pairs: ps, err: err}
 		}(w, lo, hi)
 	}
@@ -99,5 +106,6 @@ func (c *Concurrent) Block(a, b *table.Table) (*PairSet, error) {
 		lo := r.lo
 		r.pairs.ForEach(func(ra, rb int) { out.Add(ra, rb+lo) })
 	}
+	observeBlock(c.Name(), out.Len(), sp)
 	return out, nil
 }

@@ -1,0 +1,32 @@
+package blocker
+
+import (
+	"sync/atomic"
+
+	"matchcatcher/internal/telemetry"
+)
+
+// Blockers predate the telemetry subsystem and carry no options struct,
+// so instrumentation reports to a package-level registry: the process
+// default unless SetMetrics installs another (tests inject a private
+// registry; Disabled() switches blocker telemetry off).
+var metricsReg atomic.Pointer[telemetry.Registry]
+
+// SetMetrics routes blocker telemetry to r (nil restores the default).
+func SetMetrics(r *telemetry.Registry) { metricsReg.Store(r) }
+
+func metrics() *telemetry.Registry { return telemetry.Or(metricsReg.Load()) }
+
+// observeBlock records one finished Block call: how many pairs survived
+// under this blocker/rule and how long the blocking took.
+func observeBlock(name string, pairs int, span telemetry.Span) {
+	r := metrics()
+	r.Counter("mc_blocker_pairs_total", telemetry.L("blocker", name)).Add(int64(pairs))
+	r.Counter("mc_blocker_runs_total", telemetry.L("blocker", name)).Inc()
+	span.End()
+}
+
+// startBlock opens the per-blocker latency span.
+func startBlock(name string) telemetry.Span {
+	return metrics().Start("blocker.block", telemetry.L("blocker", name))
+}

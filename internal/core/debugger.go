@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/config"
@@ -18,6 +19,7 @@ import (
 	"matchcatcher/internal/ranker"
 	"matchcatcher/internal/ssjoin"
 	"matchcatcher/internal/table"
+	"matchcatcher/internal/telemetry"
 )
 
 // Options configures the three pipeline stages.
@@ -25,6 +27,11 @@ type Options struct {
 	Config   config.Options
 	Join     ssjoin.Options
 	Verifier ranker.Options
+	// Metrics receives pipeline telemetry (stage latencies, per-iteration
+	// wall time, size gauges) and is propagated to the join and verifier
+	// stages unless they carry their own registry. Nil selects
+	// telemetry.Default(); telemetry.Disabled() switches it off.
+	Metrics *telemetry.Registry
 }
 
 // Debugger is one debugging session for a blocker's output.
@@ -37,23 +44,50 @@ type Debugger struct {
 	join  *ssjoin.JoinResult
 	ext   *feature.Extractor
 	verif *ranker.Verifier
+
+	reg       *telemetry.Registry
+	iterStart time.Time // set by Next, consumed by Feedback
 }
 
 // New builds a debugging session: it generates configs, runs the joint
 // top-k SSJs against the candidate set c, and prepares the verifier.
+// Every stage is traced into the registry's mc_stage_seconds histogram.
 func New(a, b *table.Table, c *blocker.PairSet, opt Options) (*Debugger, error) {
 	if a == nil || b == nil {
 		return nil, fmt.Errorf("core: both tables are required")
 	}
+	reg := telemetry.Or(opt.Metrics)
+	if opt.Join.Metrics == nil {
+		opt.Join.Metrics = reg
+	}
+	if opt.Verifier.Metrics == nil {
+		opt.Verifier.Metrics = reg
+	}
+
+	sp := reg.Start("config.generate")
 	res, err := config.Generate(a, b, opt.Config)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: config generation: %w", err)
 	}
+	sp = reg.Start("ssjoin.corpus")
 	cor := ssjoin.NewCorpus(a, b, res)
+	sp.End()
+	sp = reg.Start("ssjoin.joinall")
 	join := ssjoin.JoinAll(cor, c, opt.Join)
+	sp.End()
+	sp = reg.Start("verifier.prepare")
 	ext := feature.NewExtractor(cor)
 	verif := ranker.NewVerifier(join.Lists, ext.Vector, opt.Verifier)
-	return &Debugger{a: a, b: b, c: c, res: res, cor: cor, join: join, ext: ext, verif: verif}, nil
+	sp.End()
+
+	d := &Debugger{a: a, b: b, c: c, res: res, cor: cor, join: join, ext: ext, verif: verif, reg: reg}
+	reg.Gauge("mc_core_rows_a").Set(float64(a.NumRows()))
+	reg.Gauge("mc_core_rows_b").Set(float64(b.NumRows()))
+	reg.Gauge("mc_core_c_size").Set(float64(c.Len()))
+	reg.Gauge("mc_core_configs").Set(float64(len(join.Lists)))
+	reg.Gauge("mc_core_e_size").Set(float64(d.CandidateCount()))
+	return d, nil
 }
 
 // Configs returns the config generation result.
@@ -81,10 +115,26 @@ func (d *Debugger) Candidates() *blocker.PairSet {
 
 // Next returns the next batch of pairs for the user to inspect (at most
 // Verifier.N), or nil when the session has reached its stopping condition.
-func (d *Debugger) Next() []blocker.Pair { return d.verif.Next() }
+func (d *Debugger) Next() []blocker.Pair {
+	d.iterStart = time.Now()
+	return d.verif.Next()
+}
 
 // Feedback records the user's labels for the pairs of the last Next call.
-func (d *Debugger) Feedback(labels []bool) error { return d.verif.Feedback(labels) }
+// One Next+Feedback round is one debugging iteration; its wall time rolls
+// up into mc_core_iteration_seconds.
+func (d *Debugger) Feedback(labels []bool) error {
+	err := d.verif.Feedback(labels)
+	if err == nil {
+		if !d.iterStart.IsZero() {
+			d.reg.Histogram("mc_core_iteration_seconds").Observe(time.Since(d.iterStart).Seconds())
+			d.iterStart = time.Time{}
+		}
+		d.reg.Gauge("mc_core_iterations").Set(float64(d.verif.Iterations()))
+		d.reg.Gauge("mc_core_matches_found").Set(float64(len(d.verif.Matches())))
+	}
+	return err
+}
 
 // Done reports whether the stopping condition has been reached.
 func (d *Debugger) Done() bool { return d.verif.Done() }
@@ -96,9 +146,10 @@ func (d *Debugger) Matches() []blocker.Pair { return d.verif.Matches() }
 func (d *Debugger) Iterations() int { return d.verif.Iterations() }
 
 // Run drives the session to completion with a labeling function (e.g. the
-// synthetic user oracle).
+// synthetic user oracle). It routes through the debugger's own Next and
+// Feedback so every round carries iteration telemetry.
 func (d *Debugger) Run(label func(a, b int) bool) ranker.RunResult {
-	return ranker.Run(d.verif, label)
+	return ranker.Run(d, label)
 }
 
 // Pair value accessors for presentation layers.

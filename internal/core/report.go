@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"matchcatcher/internal/ssjoin"
+	"matchcatcher/internal/telemetry"
 )
 
 // MatchReport is one confirmed killed-off match with its rendered values
@@ -32,6 +33,11 @@ type Report struct {
 	Matches     []MatchReport `json:"matches"`
 	TopProblems []string      `json:"top_problems"`
 	JoinStats   ssjoin.Stats  `json:"join_stats"`
+	// Telemetry is the session registry's snapshot at report time: every
+	// mc_* series (counters, gauges, stage/iteration histograms), so a
+	// report is self-describing about prune rates, reuse hit rates, and
+	// per-stage latency without scraping /metrics.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // Report summarizes the session so far (typically called once Done).
@@ -48,6 +54,7 @@ func (d *Debugger) Report() Report {
 		Iterations:  d.Iterations(),
 		TopProblems: d.TopProblems(d.Matches(), 5),
 		JoinStats:   d.join.Stats,
+		Telemetry:   d.reg.Snapshot(),
 	}
 	for _, m := range d.Matches() {
 		r.Matches = append(r.Matches, MatchReport{

@@ -8,6 +8,7 @@ import (
 	"matchcatcher/internal/metrics"
 	"matchcatcher/internal/oracle"
 	"matchcatcher/internal/ranker"
+	"matchcatcher/internal/telemetry"
 )
 
 // Table3Row is one row of the paper's Table 3: for one dataset and
@@ -68,6 +69,15 @@ func (e *Env) RunTable3Row(s Spec, opt DebugOptions) (Table3Row, error) {
 	res := dbg.Run(u.Label)
 	row.F = len(res.Matches)
 	row.I = res.Iterations
+
+	// Mirror the paper's Table-3 counters (M_D, M_E, F) as gauges so the
+	// §6 quantities are scrapeable alongside the pipeline metrics.
+	reg := telemetry.Default()
+	ls := []telemetry.Label{telemetry.L("dataset", s.Dataset), telemetry.L("blocker", s.Label)}
+	reg.Gauge("mc_experiments_md", ls...).Set(float64(row.MD))
+	reg.Gauge("mc_experiments_me", ls...).Set(float64(row.ME))
+	reg.Gauge("mc_experiments_f", ls...).Set(float64(row.F))
+	reg.Gauge("mc_experiments_iterations", ls...).Set(float64(row.I))
 	return row, nil
 }
 

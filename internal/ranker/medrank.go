@@ -6,6 +6,7 @@ package ranker
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 
 	"matchcatcher/internal/blocker"
@@ -57,13 +58,22 @@ func aggregate(lists []ssjoin.TopKList, weights []float64, rng *rand.Rand) []blo
 		global float64
 		tie    int
 	}
+	// Visit the universe in sorted id order: map iteration order is
+	// randomized, and the tiebreak permutation below is assigned by slice
+	// position, so a deterministic build order is what lets the seeded
+	// rng actually decide ties (same seed, same order).
+	ids := make([]int64, 0, len(universe))
+	for id := range universe {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
 	items := make([]scored, 0, len(universe))
 	type rw struct {
 		r int
 		w float64
 	}
 	rws := make([]rw, 0, len(lists))
-	for id := range universe {
+	for _, id := range ids {
 		rws = rws[:0]
 		for i := range lists {
 			r, ok := ranks[i][id]

@@ -5,10 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/rforest"
 	"matchcatcher/internal/ssjoin"
+	"matchcatcher/internal/telemetry"
 )
 
 // Mode selects the verifier's ranking strategy.
@@ -37,6 +39,10 @@ type Options struct {
 	Mode           Mode
 	Seed           int64
 	Forest         rforest.Options
+	// Metrics receives the verifier's telemetry (iteration counters,
+	// forest fit/predict latency, hybrid split sizes). Nil selects
+	// telemetry.Default(); telemetry.Disabled() switches it off.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +95,39 @@ type Verifier struct {
 	pending []int // item indices returned by the last Next
 	forest  *rforest.Forest
 	stale   bool
+
+	vm verifierMetrics
+}
+
+// verifierMetrics holds the resolved telemetry instruments (one registry
+// lookup at construction; hot calls are plain atomic updates).
+type verifierMetrics struct {
+	iterations     *telemetry.Counter
+	alIterations   *telemetry.Counter
+	matches        *telemetry.Counter
+	labelsGiven    *telemetry.Counter
+	controversial  *telemetry.Counter
+	confident      *telemetry.Counter
+	fitSeconds     *telemetry.Histogram
+	predictSeconds *telemetry.Histogram
+	labeledGauge   *telemetry.Gauge
+	candidates     *telemetry.Gauge
+}
+
+func newVerifierMetrics(reg *telemetry.Registry) verifierMetrics {
+	reg = telemetry.Or(reg)
+	return verifierMetrics{
+		iterations:     reg.Counter("mc_ranker_iterations_total"),
+		alIterations:   reg.Counter("mc_ranker_al_iterations_total"),
+		matches:        reg.Counter("mc_ranker_matches_total"),
+		labelsGiven:    reg.Counter("mc_ranker_labels_total"),
+		controversial:  reg.Counter("mc_ranker_controversial_pairs_total"),
+		confident:      reg.Counter("mc_ranker_confident_pairs_total"),
+		fitSeconds:     reg.Histogram("mc_ranker_forest_fit_seconds"),
+		predictSeconds: reg.Histogram("mc_ranker_forest_predict_seconds"),
+		labeledGauge:   reg.Gauge("mc_ranker_labeled_pairs"),
+		candidates:     reg.Gauge("mc_ranker_candidates"),
+	}
 }
 
 // NewVerifier builds a verifier over the per-config top-k lists.
@@ -102,6 +141,7 @@ func NewVerifier(lists []ssjoin.TopKList, feats FeatureFunc, opt Options) *Verif
 		labeled: map[int]bool{},
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		stale:   true,
+		vm:      newVerifierMetrics(opt.Metrics),
 	}
 	for _, l := range lists {
 		for _, p := range l.Pairs {
@@ -118,6 +158,7 @@ func NewVerifier(lists []ssjoin.TopKList, feats FeatureFunc, opt Options) *Verif
 		v.weights[i] = 1
 	}
 	v.order = aggregate(lists, v.weights, v.rng)
+	v.vm.candidates.Set(float64(len(v.ids)))
 	return v
 }
 
@@ -201,12 +242,14 @@ func (v *Verifier) nextHybrid() []int {
 		conf float64
 	}
 	var unlabeled []scored
+	predStart := time.Now()
 	for i := range v.ids {
 		if _, done := v.labeled[i]; done {
 			continue
 		}
 		unlabeled = append(unlabeled, scored{i, v.forest.Confidence(v.vec(i))})
 	}
+	v.vm.predictSeconds.Observe(time.Since(predStart).Seconds())
 	sort.Slice(unlabeled, func(x, y int) bool {
 		dx := math.Abs(unlabeled[x].conf - 0.5)
 		dy := math.Abs(unlabeled[y].conf - 0.5)
@@ -224,6 +267,7 @@ func (v *Verifier) nextHybrid() []int {
 		idxs = append(idxs, s.idx)
 		taken[s.idx] = true
 	}
+	v.vm.controversial.Add(int64(len(idxs)))
 	return append(idxs, v.nextConfident(v.opt.N-len(idxs), taken)...)
 }
 
@@ -236,6 +280,7 @@ func (v *Verifier) nextConfident(n int, taken map[int]bool) []int {
 		conf float64
 	}
 	var unlabeled []scored
+	predStart := time.Now()
 	for i := range v.ids {
 		if _, done := v.labeled[i]; done {
 			continue
@@ -245,6 +290,7 @@ func (v *Verifier) nextConfident(n int, taken map[int]bool) []int {
 		}
 		unlabeled = append(unlabeled, scored{i, v.forest.Confidence(v.vec(i))})
 	}
+	v.vm.predictSeconds.Observe(time.Since(predStart).Seconds())
 	sort.Slice(unlabeled, func(x, y int) bool {
 		if unlabeled[x].conf != unlabeled[y].conf {
 			return unlabeled[x].conf > unlabeled[y].conf
@@ -258,6 +304,7 @@ func (v *Verifier) nextConfident(n int, taken map[int]bool) []int {
 		}
 		idxs = append(idxs, s.idx)
 	}
+	v.vm.confident.Add(int64(len(idxs)))
 	return idxs
 }
 
@@ -265,13 +312,24 @@ func (v *Verifier) ensureForest() {
 	if !v.stale && v.forest != nil {
 		return
 	}
-	var exs []rforest.Example
-	for idx, y := range v.labeled {
-		exs = append(exs, rforest.Example{X: v.vec(idx), Y: y})
+	// Train on the labeled set in sorted index order: map iteration order
+	// is randomized, and the forest's bootstrap draws examples by slice
+	// position, so the build order must be fixed for the seeded training
+	// to be reproducible.
+	idxs := make([]int, 0, len(v.labeled))
+	for idx := range v.labeled {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	exs := make([]rforest.Example, 0, len(idxs))
+	for _, idx := range idxs {
+		exs = append(exs, rforest.Example{X: v.vec(idx), Y: v.labeled[idx]})
 	}
 	fopt := v.opt.Forest
 	fopt.Seed = v.opt.Seed + int64(v.iter)
+	fitStart := time.Now()
 	f, err := rforest.Train(exs, fopt)
+	v.vm.fitSeconds.Observe(time.Since(fitStart).Seconds())
 	if err != nil {
 		// No labels yet; callers only reach here after bootstrap, but be
 		// safe and fall back to a trivial forest via a single negative.
@@ -308,8 +366,13 @@ func (v *Verifier) Feedback(labels []bool) error {
 	v.pending = nil
 	v.iter++
 	v.stale = true
+	v.vm.iterations.Inc()
+	v.vm.labelsGiven.Add(int64(len(labels)))
+	v.vm.matches.Add(int64(newMatches))
+	v.vm.labeledGauge.Set(float64(len(v.labeled)))
 	if wasHybrid {
 		v.alRounds++
+		v.vm.alIterations.Inc()
 	}
 	if newMatches == 0 {
 		v.emptyStreak++
@@ -347,9 +410,20 @@ type RunResult struct {
 	MatchesByIteration []int
 }
 
-// Run drives a verifier to its stopping condition with the given labeler
+// Session is the verifier-loop surface Run drives: both *Verifier and
+// the core Debugger (which wraps each round with iteration telemetry)
+// satisfy it.
+type Session interface {
+	Done() bool
+	Next() []blocker.Pair
+	Feedback(labels []bool) error
+	Matches() []blocker.Pair
+	Iterations() int
+}
+
+// Run drives a session to its stopping condition with the given labeler
 // (typically the synthetic user oracle).
-func Run(v *Verifier, label func(a, b int) bool) RunResult {
+func Run(v Session, label func(a, b int) bool) RunResult {
 	var res RunResult
 	for !v.Done() {
 		pairs := v.Next()

@@ -3,6 +3,7 @@ package ssjoin
 import (
 	"container/heap"
 	"math/bits"
+	"slices"
 	"sync/atomic"
 
 	"matchcatcher/internal/blocker"
@@ -30,6 +31,9 @@ type runOpts struct {
 	mergeCh <-chan []ScoredPair
 	// cancel aborts the run when set (used by the q-selection race).
 	cancel *atomic.Bool
+	// stats collects this run's event counts (single-goroutine, plain
+	// increments). Always non-nil in real runs; runJoin tolerates nil.
+	stats *runStats
 }
 
 // Candidate-pair states are packed into a map[int64]int32 to keep the
@@ -75,6 +79,10 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	if opt.q < 1 {
 		opt.q = 1
 	}
+	if opt.stats == nil {
+		opt.stats = &runStats{}
+	}
+	rs := opt.stats
 	nA, nB := len(cor.recsA), len(cor.recsB)
 	instA := make([][]int64, nA)
 	instB := make([][]int64, nB)
@@ -128,6 +136,7 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		}
 		cap := opt.m.ExtendCap(int(pos), l)
 		if top.full() && cap <= top.kthScore() {
+			rs.pruneKills++
 			return // this string can never produce a new top-k pair
 		}
 		heap.Push(&events, event{cap: cap, side: side, rec: rec})
@@ -144,6 +153,7 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		st, seen := pairs[key]
 		if !seen && opt.c.Contains(int(a), int(b)) {
 			pairs[key] = pairSuppressed
+			rs.suppressedPairs++
 			return
 		}
 		if st < 0 {
@@ -173,9 +183,11 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		}
 		ev := events.items[0]
 		if top.full() && ev.cap <= top.kthScore() {
+			rs.pruneKills += int64(events.Len())
 			break
 		}
 		heap.Pop(&events)
+		rs.prefixEvents++
 		var inst int64
 		if ev.side == 0 {
 			inst = instA[ev.rec][posA[ev.rec]]
@@ -215,11 +227,21 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	// Flush: pending pairs (seen < q common instances) may still belong
 	// in the top-k; score those whose optimistic bound beats the k-th
 	// score. Every uncounted common instance lies beyond at least one
-	// final prefix, so overlap <= count + (lx-px) + (ly-py).
+	// final prefix, so overlap <= count + (lx-px) + (ly-py). The pending
+	// keys are sorted first: map iteration order is randomized, and the
+	// k-th score rises as flushed pairs are admitted, so a deterministic
+	// visit order is what makes reruns reproduce the same list (and the
+	// same mc_ssjoin_flushed_pairs_total count).
+	pending := make([]int64, 0, len(pairs))
 	for key, st := range pairs {
-		if st <= 0 {
-			continue
+		if st > 0 {
+			pending = append(pending, key)
 		}
+	}
+	slices.Sort(pending)
+	for _, key := range pending {
+		st := pairs[key]
+		rs.deferredPairs++
 		a := int32(key >> 32)
 		b := int32(uint32(key))
 		lx, ly := len(instA[a]), len(instB[b])
@@ -230,6 +252,7 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		if top.full() && opt.m.FromOverlap(oMax, lx, ly) <= top.kthScore() {
 			continue
 		}
+		rs.flushedPairs++
 		admit(key, a, b)
 	}
 	return top.list(mask)

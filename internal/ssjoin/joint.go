@@ -4,10 +4,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/config"
 	"matchcatcher/internal/simfunc"
+	"matchcatcher/internal/telemetry"
 )
 
 // AutoQ requests the empirical q selection of Section 4.1: QJoin runs for
@@ -25,7 +27,10 @@ type Options struct {
 	// reproduces the TopKJoin baseline's eager scoring.
 	Q int
 	// Workers bounds the number of configs processed concurrently
-	// (default GOMAXPROCS).
+	// (default GOMAXPROCS). Each single-config join is deterministic, but
+	// with Workers > 1 the list-reuse handoff (seed vs. mid-run merge)
+	// depends on scheduling, which can flip equal-score ties at the top-k
+	// boundary between runs; set Workers to 1 for bit-reproducible runs.
 	Workers int
 	// ReuseMinAvgTokens gates overlap reuse: reuse only pays off for long
 	// tuples, so it triggers only when the average tuple length is at
@@ -35,6 +40,10 @@ type Options struct {
 	// reuse mechanisms (for the §6.5 joint-vs-individual ablation).
 	DisableScoreReuse bool
 	DisableListReuse  bool
+	// Metrics receives the executor's telemetry (counters, per-config
+	// join latency, q-race outcome). Nil selects telemetry.Default();
+	// telemetry.Disabled() switches instrumentation off.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -53,12 +62,23 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats reports how the joint executor behaved, for the ablation benches.
+// Stats reports how the joint executor behaved, for the ablation benches
+// and run reports. It is a per-run view over the same counter stream that
+// feeds the telemetry registry (every config join's runStats flushes into
+// both), so JoinAll/JoinOne report through one mechanism; the telemetry
+// side additionally carries the per-config latency histogram and the
+// q-race outcome under the mc_ssjoin_* names.
 type Stats struct {
-	ScratchScores int64 // pair scores computed by merging token lists
-	ReusedScores  int64 // pair scores answered by a parent's overlap DB
-	QUsed         int   // the q QJoin ran with
-	ReuseActive   bool  // whether the avg-length gate enabled reuse
+	ScratchScores   int64 // pair scores computed by merging token lists
+	ReusedScores    int64 // pair scores answered by a parent's overlap DB (H_γ hits)
+	ReuseMisses     int64 // scratch scores taken while a parent H_γ existed
+	PrefixEvents    int64 // prefix-extension events processed
+	PruneKills      int64 // extensions pruned by the score-cap bound
+	DeferredPairs   int64 // pairs still below q common instances at flush time
+	FlushedPairs    int64 // deferred pairs the exactness flush had to score
+	SuppressedPairs int64 // pairs skipped because they are in C
+	QUsed           int   // the q QJoin ran with
+	ReuseActive     bool  // whether the avg-length gate enabled reuse
 }
 
 // JoinResult holds one top-k list per config, in the tree's breadth-first
@@ -104,7 +124,9 @@ func (h *hdb) put(key int64, v []maskPair) {
 // makeScorer builds the scorer for one config: consult the parent's
 // overlap DB first, fall back to a token-list merge, and record common
 // token masks into the config's own DB when it has children of its own.
-func makeScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfunc.SetMeasure, stats *Stats) scorer {
+// The scorer is owned by a single runJoin goroutine, so the runStats
+// increments are plain adds.
+func makeScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfunc.SetMeasure, rs *runStats) scorer {
 	return func(a, b int32) float64 {
 		ra, rb := &cor.recsA[a], &cor.recsB[b]
 		lx, ly := ra.lenUnder(mask), rb.lenUnder(mask)
@@ -121,15 +143,16 @@ func makeScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfunc.Set
 				if ownH != nil {
 					ownH.put(key, mp)
 				}
-				atomic.AddInt64(&stats.ReusedScores, 1)
+				rs.reusedScores++
 				return m.FromOverlap(o, lx, ly)
 			}
+			rs.reuseMisses++
 		}
 		o, mp := overlapUnder(ra, rb, mask, ownH != nil)
 		if ownH != nil {
 			ownH.put(key, mp)
 		}
-		atomic.AddInt64(&stats.ScratchScores, 1)
+		rs.scratchScores++
 		return m.FromOverlap(o, lx, ly)
 	}
 }
@@ -140,17 +163,23 @@ func makeScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfunc.Set
 // baseline of [29] when given the root config.
 func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) TopKList {
 	opt = opt.withDefaults()
-	var stats Stats
+	snk := newSink(telemetry.Or(opt.Metrics))
 	if opt.Q == AutoQ {
 		opt.Q = SelectQ(cor, mask, c, opt)
+		snk.recordQ(opt.Q)
 	}
-	return runJoin(cor, mask, runOpts{
+	rs := &runStats{}
+	start := time.Now()
+	list := runJoin(cor, mask, runOpts{
 		k:     opt.K,
 		q:     opt.Q,
 		m:     opt.Measure,
 		c:     c,
-		score: makeScorer(cor, mask, nil, nil, opt.Measure, &stats),
+		score: makeScorer(cor, mask, nil, nil, opt.Measure, rs),
+		stats: rs,
 	})
+	snk.record(rs, time.Since(start))
+	return list
 }
 
 // SelectQ implements the empirical q selection: QJoin runs for q = 1..4
@@ -167,14 +196,17 @@ func SelectQ(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) int
 		wg.Add(1)
 		go func(q int) {
 			defer wg.Done()
-			var stats Stats
+			// The race's joins are throwaway measurements at k = 50; their
+			// runStats stay local so they do not pollute the run counters.
+			rs := &runStats{}
 			runJoin(cor, mask, runOpts{
 				k:      50,
 				q:      q,
 				m:      opt.Measure,
 				c:      c,
-				score:  makeScorer(cor, mask, nil, nil, opt.Measure, &stats),
+				score:  makeScorer(cor, mask, nil, nil, opt.Measure, rs),
 				cancel: &cancel,
+				stats:  rs,
 			})
 			if !cancel.Load() {
 				once.Do(func() {
@@ -195,6 +227,7 @@ func SelectQ(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) int
 // empty and merges the parent's list when it arrives mid-run.
 func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 	opt = opt.withDefaults()
+	snk := newSink(telemetry.Or(opt.Metrics))
 	res := &JoinResult{}
 	res.Stats.ReuseActive = !opt.DisableScoreReuse && cor.AvgTokens >= opt.ReuseMinAvgTokens
 
@@ -202,6 +235,7 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 	q := opt.Q
 	if q == AutoQ {
 		q = SelectQ(cor, nodes[0].Mask, c, opt)
+		snk.recordQ(q)
 	}
 	res.Stats.QUsed = q
 
@@ -234,12 +268,14 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 				if n.Parent != nil && res.Stats.ReuseActive {
 					parentH = dbs[idxOf[n.Parent]]
 				}
+				rs := &runStats{}
 				ro := runOpts{
 					k:     opt.K,
 					q:     q,
 					m:     opt.Measure,
 					c:     c,
-					score: makeScorer(cor, n.Mask, parentH, dbs[i], opt.Measure, &res.Stats),
+					score: makeScorer(cor, n.Mask, parentH, dbs[i], opt.Measure, rs),
+					stats: rs,
 				}
 				if n.Parent != nil && !opt.DisableListReuse {
 					if pi := idxOf[n.Parent]; done[pi].Load() {
@@ -248,7 +284,10 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 						ro.mergeCh = mergeChs[i]
 					}
 				}
+				start := time.Now()
 				lists[i] = runJoin(cor, n.Mask, ro)
+				snk.record(rs, time.Since(start))
+				res.Stats.add(rs)
 				done[i].Store(true)
 				for _, ch := range n.Children {
 					ci := idxOf[ch]

@@ -16,7 +16,7 @@ func TestMergeChannelAbsorbsParentList(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	cor, res, c := randomCorpus(t, rng, 30, 30)
 	mask := res.Root.Mask
-	var stats Stats
+	var stats runStats
 	score := makeScorer(cor, mask, nil, nil, simfunc.Jaccard, &stats)
 
 	// The "parent list" here is just the true top-k itself; absorbing it
@@ -48,7 +48,7 @@ func TestSeedsIdenticalToMerge(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	cor, res, c := randomCorpus(t, rng, 25, 25)
 	mask := res.Root.Mask
-	var stats Stats
+	var stats runStats
 	parent := BruteForce(cor, mask, c, 8, simfunc.Jaccard)
 
 	seeded := runJoin(cor, mask, runOpts{
@@ -78,7 +78,7 @@ func TestSeedsIdenticalToMerge(t *testing.T) {
 func TestCancelStopsRun(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	cor, res, c := randomCorpus(t, rng, 40, 40)
-	var stats Stats
+	var stats runStats
 	opts := runOpts{
 		k: 20, q: 2, m: simfunc.Jaccard, c: c,
 		score: makeScorer(cor, res.Root.Mask, nil, nil, simfunc.Jaccard, &stats),

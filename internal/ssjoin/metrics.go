@@ -1,0 +1,91 @@
+package ssjoin
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"matchcatcher/internal/telemetry"
+)
+
+// runStats collects one config-join's event counts. It is owned by a
+// single runJoin goroutine, so increments are plain (non-atomic) adds —
+// the join's hot loop pays no synchronization for instrumentation. The
+// counts are flushed exactly once when the join finishes, into both the
+// per-run Stats aggregate and the telemetry registry, so the two always
+// report through the same stream.
+type runStats struct {
+	scratchScores   int64 // pair scores computed by merging token lists
+	reusedScores    int64 // pair scores answered by a parent's H_γ (hit)
+	reuseMisses     int64 // scratch scores taken while a parent H_γ existed
+	prefixEvents    int64 // prefix-extension events popped off the heap
+	pruneKills      int64 // extensions pruned because their cap <= k-th score
+	deferredPairs   int64 // pairs still pending (< q common instances) at flush
+	flushedPairs    int64 // deferred pairs whose bound forced an exact score
+	suppressedPairs int64 // pairs skipped because they are in C
+}
+
+// sink holds the resolved telemetry instruments for one executor run.
+// Instruments are resolved once (registry lookups off the hot path) and
+// a nil-registry sink degrades to no-ops via nil instruments.
+type sink struct {
+	scratch, reused        *telemetry.Counter
+	reuseHits, reuseMisses *telemetry.Counter
+	prefixEvents           *telemetry.Counter
+	pruneKills             *telemetry.Counter
+	deferred, flushed      *telemetry.Counter
+	suppressed             *telemetry.Counter
+	configJoins            *telemetry.Counter
+	joinSeconds            *telemetry.Histogram
+	reg                    *telemetry.Registry
+}
+
+func newSink(reg *telemetry.Registry) *sink {
+	return &sink{
+		scratch:      reg.Counter("mc_ssjoin_scratch_scores_total"),
+		reused:       reg.Counter("mc_ssjoin_reused_scores_total"),
+		reuseHits:    reg.Counter("mc_ssjoin_reuse_hits_total"),
+		reuseMisses:  reg.Counter("mc_ssjoin_reuse_misses_total"),
+		prefixEvents: reg.Counter("mc_ssjoin_prefix_events_total"),
+		pruneKills:   reg.Counter("mc_ssjoin_prune_kills_total"),
+		deferred:     reg.Counter("mc_ssjoin_deferred_pairs_total"),
+		flushed:      reg.Counter("mc_ssjoin_flushed_pairs_total"),
+		suppressed:   reg.Counter("mc_ssjoin_suppressed_pairs_total"),
+		configJoins:  reg.Counter("mc_ssjoin_config_joins_total"),
+		joinSeconds:  reg.Histogram("mc_ssjoin_join_seconds"),
+		reg:          reg,
+	}
+}
+
+// record flushes one finished config join into the registry.
+func (s *sink) record(rs *runStats, dur time.Duration) {
+	s.scratch.Add(rs.scratchScores)
+	s.reused.Add(rs.reusedScores)
+	s.reuseHits.Add(rs.reusedScores) // a reused score is exactly an H_γ hit
+	s.reuseMisses.Add(rs.reuseMisses)
+	s.prefixEvents.Add(rs.prefixEvents)
+	s.pruneKills.Add(rs.pruneKills)
+	s.deferred.Add(rs.deferredPairs)
+	s.flushed.Add(rs.flushedPairs)
+	s.suppressed.Add(rs.suppressedPairs)
+	s.configJoins.Inc()
+	s.joinSeconds.Observe(dur.Seconds())
+}
+
+// recordQ records the outcome of the empirical q-selection race.
+func (s *sink) recordQ(q int) {
+	s.reg.Counter("mc_ssjoin_q_selected_total", telemetry.L("q", strconv.Itoa(q))).Inc()
+}
+
+// add folds one config join's counts into the per-run aggregate
+// (workers run concurrently, so this side uses atomics).
+func (st *Stats) add(rs *runStats) {
+	atomic.AddInt64(&st.ScratchScores, rs.scratchScores)
+	atomic.AddInt64(&st.ReusedScores, rs.reusedScores)
+	atomic.AddInt64(&st.ReuseMisses, rs.reuseMisses)
+	atomic.AddInt64(&st.PrefixEvents, rs.prefixEvents)
+	atomic.AddInt64(&st.PruneKills, rs.pruneKills)
+	atomic.AddInt64(&st.DeferredPairs, rs.deferredPairs)
+	atomic.AddInt64(&st.FlushedPairs, rs.flushedPairs)
+	atomic.AddInt64(&st.SuppressedPairs, rs.suppressedPairs)
+}

@@ -65,7 +65,11 @@ func (h *topkHeap) kthScore() float64 {
 
 func (h *topkHeap) full() bool { return len(h.items) >= h.k }
 
-// offer inserts the pair if it belongs in the top-k.
+// offer inserts the pair if it belongs in the top-k. Retention is a pure
+// function of the offered set, not of arrival order: when a new pair ties
+// the k-th score exactly, the pair with the smaller ids wins, matching
+// the total order list() sorts by. This keeps identically-seeded runs
+// byte-identical even though scoring order varies (flush, list reuse).
 func (h *topkHeap) offer(p ScoredPair) {
 	if p.Score <= 0 {
 		return
@@ -74,10 +78,15 @@ func (h *topkHeap) offer(p ScoredPair) {
 		heap.Push(h, p)
 		return
 	}
-	if p.Score > h.items[0].Score {
-		h.items[0] = p
-		heap.Fix(h, 0)
+	r := h.items[0]
+	if p.Score < r.Score {
+		return
 	}
+	if p.Score == r.Score && (p.A > r.A || (p.A == r.A && p.B >= r.B)) {
+		return
+	}
+	h.items[0] = p
+	heap.Fix(h, 0)
 }
 
 // list extracts the sorted TopKList.

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a float the way the Prometheus text format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders {k="v",...} or "" for an unlabeled series, with
+// extra appended after the series' own labels.
+func renderLabels(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	n := 0
+	for _, l := range append(append([]Label{}, labels...), extra...) {
+		if n > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteString(`"`)
+		n++
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4), sorted by name then labels, with
+// one TYPE line per metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	prevName := ""
+	for _, s := range r.all() {
+		if s.name != prevName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
+				return err
+			}
+			prevName = s.name
+		}
+		var err error
+		switch s.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, renderLabels(s.labels), s.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.name, renderLabels(s.labels), formatValue(s.g.Value()))
+		case kindHistogram:
+			err = writeHistogram(w, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, s *series) error {
+	counts := s.h.bucketCounts()
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		// Compress the exposition: skip empty leading/intermediate
+		// buckets except the ones that carry information (a count
+		// change) and the mandatory +Inf bucket.
+		if c == 0 && i != len(counts)-1 {
+			continue
+		}
+		le := formatValue(s.h.UpperBound(i))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.name, renderLabels(s.labels, Label{Key: "le", Value: le}), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, renderLabels(s.labels), formatValue(s.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, renderLabels(s.labels), s.h.Count())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Serve starts an HTTP listener on addr exposing:
+//
+//	/metrics      Prometheus text exposition of this registry
+//	/debug/vars   expvar
+//	/debug/pprof  net/http/pprof profiles
+//
+// It returns the server (Close it to stop) and the bound address
+// (useful with addr ":0"). The listener runs on its own goroutine.
+func (r *Registry) Serve(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use and safe on a nil receiver (no-op).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0; negative deltas are ignored to preserve
+// monotonicity).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an arbitrary float64 metric that may go up and down. All
+// methods are safe for concurrent use and safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Default exponential bucket layout: upper bounds start*factor^i for
+// i in [0, buckets), i.e. 1µs, 2µs, 4µs, ... ~537s, plus a +Inf
+// overflow bucket. Chosen for latencies expressed in seconds; counts
+// and sizes fit too (they simply occupy the high buckets).
+const (
+	defaultHistStart   = 1e-6
+	defaultHistFactor  = 2
+	defaultHistBuckets = 30
+)
+
+// Histogram is a fixed-layout exponential-bucket histogram. Observations
+// are lock-free atomic adds; bucket bounds are immutable after creation.
+// All methods are safe for concurrent use and safe on a nil receiver.
+type Histogram struct {
+	start, factor float64
+	logFactor     float64
+	counts        []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	sumBits       atomic.Uint64
+	count         atomic.Int64
+}
+
+func newHistogram(start, factor float64, buckets int) *Histogram {
+	return &Histogram{
+		start:     start,
+		factor:    factor,
+		logFactor: math.Log(factor),
+		counts:    make([]atomic.Int64, buckets+1),
+	}
+}
+
+// UpperBound returns the inclusive upper bound of bucket i, or +Inf for
+// the overflow bucket.
+func (h *Histogram) UpperBound(i int) float64 {
+	if i >= len(h.counts)-1 {
+		return math.Inf(1)
+	}
+	return h.start * math.Pow(h.factor, float64(i))
+}
+
+// NumBuckets returns the bucket count including the +Inf overflow.
+func (h *Histogram) NumBuckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.counts)
+}
+
+func (h *Histogram) bucketIndex(v float64) int {
+	if v <= h.start {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(v/h.start) / h.logFactor))
+	if i >= len(h.counts)-1 {
+		return len(h.counts) - 1
+	}
+	// Guard against log rounding placing v just past its true bucket.
+	if i > 0 && h.UpperBound(i-1) >= v {
+		i--
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// bucketCounts returns a point-in-time copy of the per-bucket counts.
+func (h *Histogram) bucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket where the cumulative count crosses q*Count. It returns 0
+// for an empty histogram and the largest finite bound when the crossing
+// lands in the overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.bucketCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i == len(counts)-1 {
+				return h.UpperBound(i - 1)
+			}
+			return h.UpperBound(i)
+		}
+	}
+	return h.UpperBound(len(counts) - 2)
+}

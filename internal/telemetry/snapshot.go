@@ -1,0 +1,75 @@
+package telemetry
+
+// HistogramSnapshot is a point-in-time summary of one histogram series.
+// Quantiles are bucket-upper-bound estimates (exponential buckets, so
+// within one ×factor of the true value).
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max_bucket"` // upper bound of the highest occupied bucket
+}
+
+// Snapshot is a point-in-time, JSON-encodable view of a registry, keyed
+// by fully qualified series (`name{k="v"}`). Embedded in mcdebug -report
+// and mcbench -json output so every run carries its own metrics.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// NumSeries returns the total number of series across all sections.
+func (s *Snapshot) NumSeries() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Counters) + len(s.Gauges) + len(s.Histograms)
+}
+
+// Snapshot captures the registry's current state. A nil or disabled
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range r.all() {
+		key := seriesKey(s.name, s.labels)
+		switch s.kind {
+		case kindCounter:
+			snap.Counters[key] = s.c.Value()
+		case kindGauge:
+			snap.Gauges[key] = s.g.Value()
+		case kindHistogram:
+			hs := HistogramSnapshot{
+				Count: s.h.Count(),
+				Sum:   s.h.Sum(),
+				P50:   s.h.Quantile(0.50),
+				P90:   s.h.Quantile(0.90),
+				P99:   s.h.Quantile(0.99),
+			}
+			if hs.Count > 0 {
+				hs.Mean = hs.Sum / float64(hs.Count)
+			}
+			counts := s.h.bucketCounts()
+			for i := len(counts) - 1; i >= 0; i-- {
+				if counts[i] > 0 {
+					if i == len(counts)-1 {
+						i-- // report the last finite bound for +Inf
+					}
+					if i >= 0 {
+						hs.Max = s.h.UpperBound(i)
+					}
+					break
+				}
+			}
+			snap.Histograms[key] = hs
+		}
+	}
+	return snap
+}

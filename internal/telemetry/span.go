@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// StageHistogram is the shared histogram every stage span rolls up into,
+// one series per stage label.
+const StageHistogram = "mc_stage_seconds"
+
+// Span is one in-flight stage timing. End observes the elapsed time into
+// the registry's mc_stage_seconds{stage="<name>"} histogram. The zero
+// Span (from a nil/disabled registry) is a no-op.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins timing a named stage against the registry.
+//
+//	defer reg.Start("ssjoin.flush").End()
+func (r *Registry) Start(name string, labels ...Label) Span {
+	if r == nil || r.off {
+		return Span{}
+	}
+	ls := make([]Label, 0, len(labels)+1)
+	ls = append(ls, Label{Key: "stage", Value: name})
+	ls = append(ls, labels...)
+	return Span{h: r.Histogram(StageHistogram, ls...), start: time.Now()}
+}
+
+// Start begins timing a named stage against the default registry.
+func Start(name string, labels ...Label) Span { return std.Start(name, labels...) }
+
+// End stops the span, records its latency, and returns the elapsed time.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the registry, for APIs that
+// thread telemetry through call chains rather than options structs.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the registry installed by NewContext, or the
+// process default when none is installed.
+func FromContext(ctx context.Context) *Registry {
+	if r, ok := ctx.Value(ctxKey{}).(*Registry); ok && r != nil {
+		return r
+	}
+	return std
+}
+
+// StartCtx begins timing a named stage against the context's registry.
+func StartCtx(ctx context.Context, name string, labels ...Label) Span {
+	return FromContext(ctx).Start(name, labels...)
+}
