@@ -7,6 +7,7 @@ package matchcatcher
 // full-size reports.
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -272,6 +273,41 @@ func BenchmarkJoinOneM2Uninstrumented(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ssjoin.JoinOne(cor, res.Root.Mask, c, ssjoin.Options{K: 1000, Q: 2, Metrics: telemetry.Disabled()})
+	}
+}
+
+// BenchmarkJoinOneM2Traced is the third arm of the overhead study: the
+// same M2 workload with hierarchical tracing enabled on top of metrics —
+// each iteration opens a root span and JoinOne hangs its config /
+// tokenize / index / probe / topk spans under it. Span starts are
+// per-config (not per-candidate), so this too must stay within 5% of the
+// uninstrumented arm (recorded in BENCH_trace_overhead.json). Set
+// MC_TRACE_OUT=<path> to also write the final iteration's Chrome trace —
+// CI uploads it as an artifact for loading into about:tracing / Perfetto.
+func BenchmarkJoinOneM2Traced(b *testing.B) {
+	cor, res, c := benchCorpus(b, datagen.Music2().Scaled(0.1), "artist_name")
+	reg := telemetry.New()
+	var tr *telemetry.Tracer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr = telemetry.NewTracer(reg)
+		root := tr.Start("debug.session")
+		ssjoin.JoinOne(cor, res.Root.Mask, c, ssjoin.Options{K: 1000, Q: 2, Metrics: reg, Trace: root})
+		root.End()
+	}
+	b.StopTimer()
+	if path := os.Getenv("MC_TRACE_OUT"); path != "" && tr != nil {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

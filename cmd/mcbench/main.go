@@ -13,6 +13,11 @@
 // the run's full metrics snapshot (prune rates, reuse hit rates, stage
 // latencies) — and progress lines move to stderr so stdout stays valid
 // JSON. -metrics-addr additionally serves live Prometheus /metrics.
+//
+// Profiling and tracing: -profile-dir captures pprof profiles of the run
+// (<exp>_cpu.pprof and <exp>_heap.pprof; inspect with go tool pprof);
+// -trace-out writes every debug session's hierarchical span tree as one
+// Chrome trace_event file for chrome://tracing / Perfetto.
 package main
 
 import (
@@ -20,7 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,6 +46,8 @@ type cliOptions struct {
 	Datasets    string
 	JSON        bool
 	MetricsAddr string
+	ProfileDir  string
+	TraceOut    string
 }
 
 // parseFlags parses argv (without the program name) into options.
@@ -50,6 +61,8 @@ func parseFlags(args []string) (cliOptions, error) {
 	fs.StringVar(&o.Datasets, "datasets", "", "comma-separated dataset filter (table3, fig9)")
 	fs.BoolVar(&o.JSON, "json", false, "emit JSON (rows + telemetry snapshot) instead of text tables")
 	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics (plus expvar and pprof) on this address, e.g. :8080")
+	fs.StringVar(&o.ProfileDir, "profile-dir", "", "write pprof CPU and heap profiles of the run into this directory")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write the run's span trees as Chrome trace_event JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -102,16 +115,64 @@ func (c *bench) emit(rows interface{}, text string) error {
 	return nil
 }
 
+// startProfiles begins a CPU profile and returns a stop function that
+// finishes it and writes a heap profile; profile files are named after
+// the experiment (<exp>_cpu.pprof, <exp>_heap.pprof).
+func startProfiles(dir, exp string) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpuPath := filepath.Join(dir, exp+"_cpu.pprof")
+	cpuF, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpuF.Close(); err != nil {
+			return err
+		}
+		heapF, err := os.Create(filepath.Join(dir, exp+"_heap.pprof"))
+		if err != nil {
+			return err
+		}
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(heapF); err != nil {
+			heapF.Close()
+			return err
+		}
+		return heapF.Close()
+	}, nil
+}
+
+// writeChromeTrace dumps the tracer's span trees to path.
+func writeChromeTrace(tr *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	opts, err := parseFlags(os.Args[1:])
 	if err != nil {
 		os.Exit(2)
 	}
+	logg := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
 	c := &bench{opts: opts, stdout: os.Stdout, stderr: os.Stderr}
 	if opts.MetricsAddr != "" {
 		srv, addr, err := telemetry.Default().Serve(opts.MetricsAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			logg.Error("metrics server failed", "err", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
@@ -120,9 +181,40 @@ func main() {
 
 	env := experiments.NewEnv(opts.Scale)
 	opt := experiments.DebugOptions{K: opts.K, Seed: opts.Seed}
+
+	var tracer *telemetry.Tracer
+	if opts.TraceOut != "" {
+		tracer = telemetry.NewTracer(telemetry.Default())
+		opt.Trace = tracer
+	}
+	var stopProfiles func() error
+	if opts.ProfileDir != "" {
+		stopProfiles, err = startProfiles(opts.ProfileDir, opts.Exp)
+		if err != nil {
+			logg.Error("profile capture failed to start", "err", err)
+			os.Exit(1)
+		}
+	}
+
 	start := time.Now()
-	if err := c.run(env, opts.Exp, opts.Datasets, opt); err != nil {
-		fmt.Fprintln(os.Stderr, "mcbench:", err)
+	runErr := c.run(env, opts.Exp, opts.Datasets, opt)
+	if stopProfiles != nil {
+		if err := stopProfiles(); err != nil {
+			logg.Error("profile capture failed", "err", err)
+		} else {
+			logg.Info("wrote pprof profiles", "dir", opts.ProfileDir, "exp", opts.Exp)
+		}
+	}
+	if tracer != nil {
+		if err := writeChromeTrace(tracer, opts.TraceOut); err != nil {
+			logg.Error("trace export failed", "err", err)
+		} else {
+			logg.Info("wrote chrome trace", "path", opts.TraceOut,
+				"spans", tracer.Len(), "dropped", tracer.Dropped())
+		}
+	}
+	if runErr != nil {
+		logg.Error("experiment failed", "exp", opts.Exp, "err", runErr)
 		os.Exit(1)
 	}
 	c.progress("\n[%s done in %s at scale %g]\n", opts.Exp, time.Since(start).Round(time.Millisecond), opts.Scale)

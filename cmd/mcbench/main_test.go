@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"matchcatcher/internal/experiments"
+	"matchcatcher/internal/telemetry"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -89,5 +92,52 @@ func TestJSONOutputIsValid(t *testing.T) {
 	// Progress chatter must not leak into the JSON stream.
 	if !strings.Contains(stderr.String(), "done F-Z/") {
 		t.Errorf("progress lines missing from stderr: %q", stderr.String())
+	}
+}
+
+// TestProfileAndTraceCapture exercises the -profile-dir and -trace-out
+// wiring on a real tiny experiment: valid pprof files appear, and the
+// Chrome trace holds the session's span trees.
+func TestProfileAndTraceCapture(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := startProfiles(dir, "table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := telemetry.NewTracer(nil)
+	var stdout, stderr bytes.Buffer
+	c := &bench{opts: cliOptions{Exp: "table3"}, stdout: &stdout, stderr: &stderr}
+	opt := experiments.DebugOptions{K: 100, Seed: 1, Trace: tracer}
+	if err := c.run(experiments.NewEnv(1), "table3", "F-Z", opt); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table3_cpu.pprof", "table3_heap.pprof"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing profile %s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+
+	if tracer.Len() == 0 {
+		t.Fatal("tracer collected no spans from the experiment run")
+	}
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := writeChromeTrace(tracer, tracePath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) || !strings.Contains(string(data), "debug.session") {
+		t.Errorf("chrome trace invalid or missing debug.session spans:\n%.400s", data)
 	}
 }

@@ -12,6 +12,15 @@
 // Blockers: -drop parses a Magellan-style kill rule, -keep a keep rule,
 // -attr-equal names an attribute-equivalence blocker; several flags
 // combine as a union.
+//
+// Observability: -explain a_row,b_row (repeatable) watches specific pairs
+// and prints their full decision lineage (blocker keep/drop, join score
+// and rank, verifier position and label) when the session ends;
+// -explain-gold watches every gold pair. -trace-out writes the session's
+// hierarchical trace as Chrome trace_event JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev); -trace-tree dumps the
+// span tree to stderr. Progress goes to stderr as structured logs
+// correlated with the trace id; -v raises verbosity to debug.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -36,35 +46,85 @@ type listFlag []string
 func (l *listFlag) String() string     { return strings.Join(*l, ",") }
 func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 
+// cliOpts carries the parsed command line into run.
+type cliOpts struct {
+	aPath, bPath, goldPath string
+	reportPath             string
+	traceOut               string
+	traceTree              bool
+	explain                [][2]int
+	explainGold            bool
+	n, k                   int
+	seed                   int64
+	drops, keeps, equals   []string
+	log                    *slog.Logger
+}
+
 func main() {
-	aPath := flag.String("a", "", "table A CSV path")
-	bPath := flag.String("b", "", "table B CSV path")
-	goldPath := flag.String("gold", "", "optional gold CSV (a_row,b_row); labels automatically")
-	n := flag.Int("n", 20, "pairs per iteration")
-	k := flag.Int("k", 1000, "top-k per config")
-	seed := flag.Int64("seed", 1, "random seed")
-	report := flag.String("report", "", "write a JSON session report to this path")
+	var o cliOpts
+	flag.StringVar(&o.aPath, "a", "", "table A CSV path")
+	flag.StringVar(&o.bPath, "b", "", "table B CSV path")
+	flag.StringVar(&o.goldPath, "gold", "", "optional gold CSV (a_row,b_row); labels automatically")
+	flag.IntVar(&o.n, "n", 20, "pairs per iteration")
+	flag.IntVar(&o.k, "k", 1000, "top-k per config")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.StringVar(&o.reportPath, "report", "", "write a JSON session report to this path")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the session trace as Chrome trace_event JSON to this path")
+	flag.BoolVar(&o.traceTree, "trace-tree", false, "dump the session's span tree to stderr when done")
+	flag.BoolVar(&o.explainGold, "explain-gold", false, "watch every gold pair (-gold) for provenance")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics (plus expvar and pprof) on this address, e.g. :8080")
-	var drops, keeps, equals listFlag
+	var drops, keeps, equals, explains listFlag
 	flag.Var(&drops, "drop", "kill-rule expression (repeatable)")
 	flag.Var(&keeps, "keep", "keep-rule expression (repeatable)")
 	flag.Var(&equals, "attr-equal", "attribute-equivalence blocker on this attribute (repeatable)")
+	flag.Var(&explains, "explain", "watch this a_row,b_row pair and print its decision lineage (repeatable)")
 	flag.Parse()
+	o.drops, o.keeps, o.equals = drops, keeps, equals
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	o.log = telemetry.NewLogger(os.Stderr, level)
+
+	for _, src := range explains {
+		p, err := parseExplain(src)
+		if err != nil {
+			o.log.Error("bad -explain flag", "value", src, "err", err)
+			os.Exit(1)
+		}
+		o.explain = append(o.explain, p)
+	}
 
 	if *metricsAddr != "" {
 		srv, addr, err := telemetry.Default().Serve(*metricsAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdebug:", err)
+			o.log.Error("metrics server failed", "err", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", addr)
+		o.log.Info("metrics server up", "url", fmt.Sprintf("http://%s/metrics", addr))
 	}
 
-	if err := run(*aPath, *bPath, *goldPath, *report, *n, *k, *seed, drops, keeps, equals); err != nil {
-		fmt.Fprintln(os.Stderr, "mcdebug:", err)
+	if err := run(o); err != nil {
+		o.log.Error("session failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// parseExplain parses an -explain flag value of the form "a_row,b_row".
+func parseExplain(src string) ([2]int, error) {
+	parts := strings.Split(src, ",")
+	if len(parts) != 2 {
+		return [2]int{}, fmt.Errorf("want a_row,b_row")
+	}
+	a, errA := strconv.Atoi(strings.TrimSpace(parts[0]))
+	b, errB := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if errA != nil || errB != nil || a < 0 || b < 0 {
+		return [2]int{}, fmt.Errorf("want two non-negative row ids")
+	}
+	return [2]int{a, b}, nil
 }
 
 func buildBlocker(drops, keeps, equals []string) (blocker.Blocker, error) {
@@ -96,33 +156,64 @@ func buildBlocker(drops, keeps, equals []string) (blocker.Blocker, error) {
 	}
 }
 
-func run(aPath, bPath, goldPath, reportPath string, n, k int, seed int64, drops, keeps, equals []string) error {
-	if aPath == "" || bPath == "" {
+func run(o cliOpts) error {
+	o.log = telemetry.LoggerOr(o.log)
+	if o.aPath == "" || o.bPath == "" {
 		return fmt.Errorf("-a and -b are required")
 	}
-	a, err := table.ReadCSVFile(aPath)
+	a, err := table.ReadCSVFile(o.aPath)
 	if err != nil {
 		return err
 	}
-	b, err := table.ReadCSVFile(bPath)
+	b, err := table.ReadCSVFile(o.bPath)
 	if err != nil {
 		return err
 	}
-	q, err := buildBlocker(drops, keeps, equals)
+	q, err := buildBlocker(o.drops, o.keeps, o.equals)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("blocking %d x %d tuples with %s...\n", a.NumRows(), b.NumRows(), q.Name())
-	c, err := q.Block(a, b)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("|C| = %d pairs; searching D = AxB - C for killed-off matches...\n", c.Len())
 
-	opt := core.Options{}
-	opt.Join.K = k
-	opt.Verifier.N = n
-	opt.Verifier.Seed = seed
+	var gold *blocker.PairSet
+	if o.goldPath != "" {
+		if gold, err = readGold(o.goldPath); err != nil {
+			return err
+		}
+	}
+
+	// Provenance watch list: explicit -explain pairs plus, under
+	// -explain-gold, every gold pair.
+	prov := telemetry.NewProvenance(o.explain...)
+	if o.explainGold {
+		if gold == nil {
+			return fmt.Errorf("-explain-gold requires -gold")
+		}
+		for _, p := range gold.SortedPairs() {
+			prov.Watch(p.A, p.B)
+		}
+	}
+
+	tracer := telemetry.NewTracer(telemetry.Default())
+
+	// The blocker package predates options structs, so its trace and
+	// provenance hooks install process-wide; scope them to the Block call.
+	bsp := tracer.Start("blocker.run", telemetry.L("blocker", q.Name()))
+	blocker.SetTrace(bsp)
+	blocker.SetProvenance(prov)
+	o.log.Info("blocking", "rows_a", a.NumRows(), "rows_b", b.NumRows(), "blocker", q.Name())
+	c, err := q.Block(a, b)
+	blocker.SetTrace(nil)
+	blocker.SetProvenance(nil)
+	bsp.End()
+	if err != nil {
+		return err
+	}
+	o.log.Info("blocking done", "c_size", c.Len())
+
+	opt := core.Options{Trace: tracer, Logger: o.log, Provenance: prov}
+	opt.Join.K = o.k
+	opt.Verifier.N = o.n
+	opt.Verifier.Seed = o.seed
 	dbg, err := core.New(a, b, c, opt)
 	if err != nil {
 		return err
@@ -130,12 +221,8 @@ func run(aPath, bPath, goldPath, reportPath string, n, k int, seed int64, drops,
 	fmt.Printf("configs over %v; |E| = %d candidates\n", dbg.Configs().Promising, dbg.CandidateCount())
 
 	var label func(x, y int) bool
-	if goldPath != "" {
-		gold, err := readGold(goldPath)
-		if err != nil {
-			return err
-		}
-		u := oracle.New(gold, 0, seed)
+	if gold != nil {
+		u := oracle.New(gold, 0, o.seed)
 		label = u.Label
 	}
 
@@ -175,6 +262,7 @@ func run(aPath, bPath, goldPath, reportPath string, n, k int, seed int64, drops,
 			return err
 		}
 	}
+	dbg.Finish()
 
 	matches := dbg.Matches()
 	fmt.Printf("\nfound %d killed-off matches in %d iterations\n", len(matches), dbg.Iterations())
@@ -192,8 +280,36 @@ func run(aPath, bPath, goldPath, reportPath string, n, k int, seed int64, drops,
 			fmt.Println("  -", p)
 		}
 	}
-	if reportPath != "" {
-		f, err := os.Create(reportPath)
+
+	if prov.Active() {
+		fmt.Println()
+		if err := dbg.WriteExplainReport(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if o.traceTree {
+		if err := tracer.WriteTree(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		o.log.Info("wrote chrome trace", "path", o.traceOut, "spans", tracer.Len(), "dropped", tracer.Dropped())
+	}
+
+	if o.reportPath != "" {
+		f, err := os.Create(o.reportPath)
 		if err != nil {
 			return err
 		}
@@ -204,7 +320,7 @@ func run(aPath, bPath, goldPath, reportPath string, n, k int, seed int64, drops,
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote session report to %s\n", reportPath)
+		o.log.Info("wrote session report", "path", o.reportPath)
 	}
 	return nil
 }

@@ -95,8 +95,19 @@ func TestMetricsEndpointAfterDebugSession(t *testing.T) {
 	defer srv.Close()
 
 	reportPath := filepath.Join(dir, "report.json")
-	if err := run(aPath, bPath, goldPath, reportPath, 3, 100, 1, nil, nil, []string{"City"}); err != nil {
+	tracePath := filepath.Join(dir, "trace.json")
+	err = run(cliOpts{
+		aPath: aPath, bPath: bPath, goldPath: goldPath,
+		reportPath: reportPath, traceOut: tracePath,
+		explain: [][2]int{{1, 2}}, explainGold: true,
+		n: 3, k: 100, seed: 1,
+		equals: []string{"City"},
+	})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(tracePath); err != nil || !strings.Contains(string(data), `"traceEvents"`) {
+		t.Errorf("chrome trace missing or malformed (err=%v)", err)
 	}
 
 	resp, err := http.Get("http://" + addr.String() + "/metrics")
@@ -137,6 +148,32 @@ func TestMetricsEndpointAfterDebugSession(t *testing.T) {
 	}
 	if data, err := os.ReadFile(reportPath); err != nil || !strings.Contains(string(data), `"telemetry"`) {
 		t.Errorf("session report missing telemetry snapshot (err=%v)", err)
+	} else if !strings.Contains(string(data), `"provenance"`) {
+		t.Errorf("session report missing provenance lineage for watched pairs")
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	good := map[string][2]int{
+		"12,87":   {12, 87},
+		"0,0":     {0, 0},
+		" 3 , 9 ": {3, 9},
+	}
+	for src, want := range good {
+		got, err := parseExplain(src)
+		if err != nil {
+			t.Errorf("parseExplain(%q): unexpected error %v", src, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseExplain(%q) = %v, want %v", src, got, want)
+		}
+	}
+	bad := []string{"", "12", "a,b", "1,2,3", "-1,4", "4,-1", "1;2"}
+	for _, src := range bad {
+		if _, err := parseExplain(src); err == nil {
+			t.Errorf("parseExplain(%q): want error, got none", src)
+		}
 	}
 }
 

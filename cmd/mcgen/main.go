@@ -11,25 +11,34 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
 
 	"matchcatcher/internal/datagen"
+	"matchcatcher/internal/telemetry"
 )
 
 func main() {
 	dataset := flag.String("dataset", "F-Z", "dataset profile: A-G, W-A, A-D, F-Z, M1, M2, Papers")
 	scale := flag.Float64("scale", 1, "scale factor applied to rows and matches")
 	out := flag.String("out", ".", "output directory")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
-	if err := run(*dataset, *scale, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "mcgen:", err)
+	level := slog.LevelWarn // quiet by default: the summary line is the output
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logg := telemetry.NewLogger(os.Stderr, level)
+	if err := run(*dataset, *scale, *out, logg); err != nil {
+		logg.Error("generation failed", "dataset", *dataset, "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, out string) error {
+func run(dataset string, scale float64, out string, logg *slog.Logger) error {
+	logg = telemetry.LoggerOr(logg)
 	var prof datagen.Profile
 	found := false
 	for _, p := range datagen.AllProfiles() {
@@ -43,6 +52,8 @@ func run(dataset string, scale float64, out string) error {
 	if scale != 1 {
 		prof = prof.Scaled(scale)
 	}
+	logg.Debug("generating", "dataset", dataset, "scale", scale,
+		"rows_a", prof.RowsA, "rows_b", prof.RowsB)
 	d, err := datagen.Generate(prof)
 	if err != nil {
 		return err
@@ -53,9 +64,11 @@ func run(dataset string, scale float64, out string) error {
 	if err := d.A.WriteCSVFile(filepath.Join(out, dataset+"-A.csv")); err != nil {
 		return err
 	}
+	logg.Debug("wrote table", "path", filepath.Join(out, dataset+"-A.csv"), "rows", d.A.NumRows())
 	if err := d.B.WriteCSVFile(filepath.Join(out, dataset+"-B.csv")); err != nil {
 		return err
 	}
+	logg.Debug("wrote table", "path", filepath.Join(out, dataset+"-B.csv"), "rows", d.B.NumRows())
 	goldPath := filepath.Join(out, dataset+"-gold.csv")
 	f, err := os.Create(goldPath)
 	if err != nil {

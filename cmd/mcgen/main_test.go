@@ -9,7 +9,7 @@ import (
 
 func TestRunWritesDatasetFiles(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("F-Z", 0.3, dir); err != nil {
+	if err := run("F-Z", 0.3, dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"F-Z-A.csv", "F-Z-B.csv", "F-Z-gold.csv"} {
@@ -28,7 +28,7 @@ func TestRunWritesDatasetFiles(t *testing.T) {
 }
 
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run("nope", 1, t.TempDir()); err == nil {
+	if err := run("nope", 1, t.TempDir(), nil); err == nil {
 		t.Error("want error for unknown dataset")
 	}
 }

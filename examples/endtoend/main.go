@@ -13,8 +13,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"matchcatcher"
 	"matchcatcher/internal/blocker"
@@ -28,16 +30,31 @@ import (
 	"matchcatcher/internal/ssjoin"
 )
 
+// logg reports failures and debug detail as structured records on
+// stderr; examples are quiet by default, -v raises them to debug level.
+var logg = matchcatcher.NewLogger(os.Stderr, slog.LevelWarn)
+
+func fatal(err error) {
+	logg.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
 func main() {
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
+	flag.Parse()
+	if *verbose {
+		logg = matchcatcher.NewLogger(os.Stderr, slog.LevelDebug)
+	}
 	data := datagen.MustGenerate(datagen.FodorsZagats())
 	a, b := data.A, data.B
+	logg.Debug("dataset ready", "rows_a", a.NumRows(), "rows_b", b.NumRows(), "gold", data.GoldCount())
 	fmt.Printf("matching %d x %d restaurants (%d true matches)\n\n",
 		a.NumRows(), b.NumRows(), data.GoldCount())
 
 	// A feature extractor shared by the matcher in both runs.
 	res, err := config.Generate(a, b, config.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	ext := feature.NewExtractor(ssjoin.NewCorpus(a, b, res))
 	feats := func(x, y int) []float64 { return ext.Vector(int32(x), int32(y)) }
@@ -45,16 +62,16 @@ func main() {
 	runPipeline := func(q blocker.Blocker) matcher.Quality {
 		c, err := q.Block(a, b)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		sample := matcher.SampleTrainingPairs(c, data.Gold, 40, 80, 11)
 		fm, err := matcher.TrainForestMatcher("rf", feats, sample, rforest.Options{Trees: 15, Seed: 5})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		pred, err := fm.Match(a, b, c)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		quality := matcher.Evaluate(pred, data.Gold)
 		fmt.Printf("  blocker %-28s |C|=%-6d blocker recall %.1f%%\n",
@@ -71,11 +88,11 @@ func main() {
 	fmt.Println("=== debugging the blocker with MatchCatcher ===")
 	c1, err := q1.Block(a, b)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	dbg, err := matchcatcher.New(a, b, c1, matchcatcher.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	user := oracle.New(data.Gold, 0, 23)
 	found := dbg.Run(user.Label)
@@ -92,7 +109,7 @@ func main() {
 	q2, err := matchcatcher.ParseKeepRule("city-eq OR name-overlap",
 		"attr_equal_city OR name_overlap_word >= 1")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	after := runPipeline(q2)
 

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"strings"
 
 	"matchcatcher"
@@ -18,9 +20,24 @@ import (
 	"matchcatcher/internal/oracle"
 )
 
+// logg reports failures and debug detail as structured records on
+// stderr; examples are quiet by default, -v raises them to debug level.
+var logg = matchcatcher.NewLogger(os.Stderr, slog.LevelWarn)
+
+func fatal(err error) {
+	logg.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
 func main() {
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
+	flag.Parse()
+	if *verbose {
+		logg = matchcatcher.NewLogger(os.Stderr, slog.LevelDebug)
+	}
 	data := datagen.MustGenerate(datagen.AmazonGoogle())
 	a, b := data.A, data.B
+	logg.Debug("dataset ready", "rows_a", a.NumRows(), "rows_b", b.NumRows(), "gold", data.GoldCount())
 	fmt.Printf("matching %d x %d products (%d true matches)\n\n",
 		a.NumRows(), b.NumRows(), data.GoldCount())
 
@@ -41,17 +58,17 @@ func main() {
 			q, err = matchcatcher.ParseKeepRule(spec.label, spec.src)
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		c, err := q.Block(a, b)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		killed := data.GoldCount() - metrics.Intersection(data.Gold, c)
 
 		dbg, err := matchcatcher.New(a, b, c, matchcatcher.Options{})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		user := oracle.New(data.Gold, 0, 7)
 		res := dbg.Run(user.Label)
@@ -73,7 +90,7 @@ func main() {
 	c, _ := q.Block(a, b)
 	dbg, err := matchcatcher.New(a, b, c, matchcatcher.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	user := oracle.New(data.Gold, 0, 7)
 	res := dbg.Run(user.Label)

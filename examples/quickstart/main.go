@@ -8,27 +8,43 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"strings"
 
 	"matchcatcher"
 )
 
+// logg reports failures and debug detail as structured records on
+// stderr; examples are quiet by default, -v raises them to debug level.
+var logg = matchcatcher.NewLogger(os.Stderr, slog.LevelWarn)
+
+func fatal(err error) {
+	logg.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
 func mustTable(name string, attrs []string, rows [][]string) *matchcatcher.Table {
 	t, err := matchcatcher.NewTable(name, attrs)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for _, r := range rows {
 		if err := t.Append(r); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	return t
 }
 
 func main() {
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
+	flag.Parse()
+	if *verbose {
+		logg = matchcatcher.NewLogger(os.Stderr, slog.LevelDebug)
+	}
 	attrs := []string{"Name", "City", "Age"}
 	a := mustTable("A", attrs, [][]string{
 		{"Dave Smith", "Altanta", "18"},
@@ -43,6 +59,7 @@ func main() {
 		{"Daniel W. Smith", "LA", "30"},
 		{"Charles Williams", "Chicago", "45"},
 	})
+	logg.Debug("tables ready", "rows_a", a.NumRows(), "rows_b", b.NumRows())
 	// The user knows these are the true matches; MatchCatcher does not.
 	gold := map[matchcatcher.Pair]bool{
 		{A: 0, B: 0}: true, // Dave Smith ~ David Smith
@@ -63,13 +80,13 @@ func main() {
 	for _, q := range blockers {
 		c, err := q.Block(a, b)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("=== blocker %s: |C| = %d pairs ===\n", q.Name(), c.Len())
 
 		dbg, err := matchcatcher.New(a, b, c, matchcatcher.Options{})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for !dbg.Done() {
 			pairs := dbg.Next()
@@ -81,7 +98,7 @@ func main() {
 				labels[i] = gold[p] // the user eyeballs each pair
 			}
 			if err := dbg.Feedback(labels); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		matches := dbg.Matches()
@@ -100,7 +117,7 @@ func main() {
 
 func must(b matchcatcher.Blocker, err error) matchcatcher.Blocker {
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	return b
 }

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"matchcatcher"
 	"matchcatcher/internal/datagen"
@@ -21,11 +23,26 @@ import (
 	"matchcatcher/internal/oracle"
 )
 
+// logg reports failures and debug detail as structured records on
+// stderr; examples are quiet by default, -v raises them to debug level.
+var logg = matchcatcher.NewLogger(os.Stderr, slog.LevelWarn)
+
+func fatal(err error) {
+	logg.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
 func main() {
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
+	flag.Parse()
+	if *verbose {
+		logg = matchcatcher.NewLogger(os.Stderr, slog.LevelDebug)
+	}
 	// Two restaurant feeds with the usual dirt: misspellings,
 	// abbreviated street addresses, city-name variants ("ny").
 	data := datagen.MustGenerate(datagen.FodorsZagats())
 	a, b := data.A, data.B
+	logg.Debug("dataset ready", "rows_a", a.NumRows(), "rows_b", b.NumRows(), "gold", data.GoldCount())
 	user := oracle.New(data.Gold, 0, 42)
 
 	// The blockers a user writes over the course of a session: each one
@@ -44,11 +61,11 @@ func main() {
 	for round, step := range iterations {
 		q, err := matchcatcher.ParseKeepRule(fmt.Sprintf("Q%d", round+1), step.src)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		c, err := q.Block(a, b)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("=== %s: %s ===\n", q.Name(), step.why)
 		fmt.Printf("    %s\n", step.src)
@@ -58,7 +75,7 @@ func main() {
 
 		dbg, err := matchcatcher.New(a, b, c, matchcatcher.Options{})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		res := dbg.Run(user.Label)
 		if len(res.Matches) == 0 {

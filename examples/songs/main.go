@@ -11,7 +11,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"matchcatcher"
@@ -20,9 +21,22 @@ import (
 	"matchcatcher/internal/oracle"
 )
 
+// logg reports failures and debug detail as structured records on
+// stderr; examples are quiet by default, -v raises them to debug level.
+var logg = matchcatcher.NewLogger(os.Stderr, slog.LevelWarn)
+
+func fatal(err error) {
+	logg.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
 func main() {
 	scale := flag.Float64("scale", 1, "dataset scale (1 = 20K tracks per side)")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
+	if *verbose {
+		logg = matchcatcher.NewLogger(os.Stderr, slog.LevelDebug)
+	}
 
 	prof := datagen.Music1()
 	if *scale != 1 {
@@ -30,17 +44,18 @@ func main() {
 	}
 	start := time.Now()
 	data := datagen.MustGenerate(prof)
+	logg.Debug("dataset ready", "rows_a", data.A.NumRows(), "rows_b", data.B.NumRows(), "gold", data.GoldCount())
 	fmt.Printf("generated %d x %d tracks (%d gold matches) in %s\n",
 		data.A.NumRows(), data.B.NumRows(), data.GoldCount(), time.Since(start).Round(time.Millisecond))
 
 	q, err := matchcatcher.ParseKeepRule("HASH", "attr_equal_artist_name")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	start = time.Now()
 	c, err := q.Block(data.A, data.B)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("blocker %s: |C| = %d, recall %.1f%%, blocked in %s\n",
 		q.Name(), c.Len(), 100*metrics.Recall(data.Gold, c), time.Since(start).Round(time.Millisecond))
@@ -48,7 +63,7 @@ func main() {
 	start = time.Now()
 	dbg, err := matchcatcher.New(data.A, data.B, c, matchcatcher.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("top-k module: %d configs over %v, |E| = %d, in %s\n",
 		len(dbg.Lists()), dbg.Configs().Promising, dbg.CandidateCount(),

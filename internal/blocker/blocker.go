@@ -67,7 +67,7 @@ func (h *Hash) Block(a, b *table.Table) (*PairSet, error) {
 	if h.Key == nil {
 		return nil, fmt.Errorf("blocker %s: nil key function", h.ID)
 	}
-	sp := startBlock(h.ID)
+	obs := startBlock(h.ID)
 	buckets := make(map[string][]int)
 	for i := 0; i < a.NumRows(); i++ {
 		if k := h.Key(a, i); k != "" {
@@ -84,7 +84,7 @@ func (h *Hash) Block(a, b *table.Table) (*PairSet, error) {
 			out.Add(i, j)
 		}
 	}
-	observeBlock(h.ID, out.Len(), sp)
+	obs.done(out)
 	return out, nil
 }
 
@@ -106,7 +106,7 @@ func (u *Union) Name() string { return u.ID }
 
 // Block implements Blocker.
 func (u *Union) Block(a, b *table.Table) (*PairSet, error) {
-	sp := startBlock(u.ID)
+	obs := startBlock(u.ID)
 	out := NewPairSet()
 	for _, m := range u.Members {
 		c, err := m.Block(a, b)
@@ -115,7 +115,7 @@ func (u *Union) Block(a, b *table.Table) (*PairSet, error) {
 		}
 		out.Union(c)
 	}
-	observeBlock(u.ID, out.Len(), sp)
+	obs.done(out)
 	return out, nil
 }
 

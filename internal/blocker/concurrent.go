@@ -64,7 +64,7 @@ func (c *Concurrent) Block(a, b *table.Table) (*PairSet, error) {
 	if workers <= 1 {
 		return c.Inner.Block(a, b)
 	}
-	sp := startBlock(c.Name())
+	obs := startBlock(c.Name())
 	reg := metrics()
 	partSeconds := reg.Histogram("mc_blocker_partition_seconds")
 	reg.Gauge("mc_blocker_partitions").Set(float64(workers))
@@ -106,6 +106,6 @@ func (c *Concurrent) Block(a, b *table.Table) (*PairSet, error) {
 		lo := r.lo
 		r.pairs.ForEach(func(ra, rb int) { out.Add(ra, rb+lo) })
 	}
-	observeBlock(c.Name(), out.Len(), sp)
+	obs.done(out)
 	return out, nil
 }

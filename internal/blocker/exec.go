@@ -42,13 +42,13 @@ func (r *Rule) Name() string { return r.ID }
 
 // Block implements Blocker.
 func (r *Rule) Block(a, b *table.Table) (*PairSet, error) {
-	sp := startBlock(r.ID)
+	obs := startBlock(r.ID)
 	out := NewPairSet()
 	comp := newCompiler(a, b)
 	for _, conj := range DNF(r.Keep) {
 		blockConjunct(comp, conj, out)
 	}
-	observeBlock(r.ID, out.Len(), sp)
+	obs.done(out)
 	return out, nil
 }
 

@@ -1,32 +1,73 @@
 package blocker
 
 import (
+	"strconv"
 	"sync/atomic"
 
 	"matchcatcher/internal/telemetry"
 )
 
 // Blockers predate the telemetry subsystem and carry no options struct,
-// so instrumentation reports to a package-level registry: the process
-// default unless SetMetrics installs another (tests inject a private
-// registry; Disabled() switches blocker telemetry off).
-var metricsReg atomic.Pointer[telemetry.Registry]
+// so instrumentation reports to package-level state: a registry (the
+// process default unless SetMetrics installs another), an optional trace
+// parent span, and an optional provenance recorder. Tests inject private
+// registries; Disabled() switches blocker telemetry off.
+var (
+	metricsReg  atomic.Pointer[telemetry.Registry]
+	traceParent atomic.Pointer[telemetry.TraceSpan]
+	provenance  atomic.Pointer[telemetry.Provenance]
+)
 
 // SetMetrics routes blocker telemetry to r (nil restores the default).
 func SetMetrics(r *telemetry.Registry) { metricsReg.Store(r) }
 
 func metrics() *telemetry.Registry { return telemetry.Or(metricsReg.Load()) }
 
-// observeBlock records one finished Block call: how many pairs survived
-// under this blocker/rule and how long the blocking took.
-func observeBlock(name string, pairs int, span telemetry.Span) {
-	r := metrics()
-	r.Counter("mc_blocker_pairs_total", telemetry.L("blocker", name)).Add(int64(pairs))
-	r.Counter("mc_blocker_runs_total", telemetry.L("blocker", name)).Inc()
-	span.End()
+// SetTrace installs a parent trace span: every Block call opens a
+// blocker.block child span under it (per rule / per union member, so
+// composite blockers trace as trees). Nil disables block tracing.
+func SetTrace(s *telemetry.TraceSpan) { traceParent.Store(s) }
+
+// SetProvenance installs a provenance recorder: every Block call records
+// a kept/dropped decision for each watched pair. Nil disables.
+func SetProvenance(p *telemetry.Provenance) { provenance.Store(p) }
+
+// blockObs is the per-Block observation handle returned by startBlock.
+type blockObs struct {
+	name string
+	span telemetry.Span
+	ts   *telemetry.TraceSpan
 }
 
-// startBlock opens the per-blocker latency span.
-func startBlock(name string) telemetry.Span {
-	return metrics().Start("blocker.block", telemetry.L("blocker", name))
+// startBlock opens the per-blocker latency span and trace span.
+func startBlock(name string) blockObs {
+	return blockObs{
+		name: name,
+		span: metrics().Start("blocker.block", telemetry.L("blocker", name)),
+		ts:   traceParent.Load().Child("blocker.block", telemetry.L("blocker", name)),
+	}
+}
+
+// done records one finished Block call: how many pairs survived under
+// this blocker/rule, how long the blocking took, and — for every watched
+// pair — whether this blocker kept or dropped it.
+func (o blockObs) done(out *PairSet) {
+	r := metrics()
+	n := out.Len()
+	r.Counter("mc_blocker_pairs_total", telemetry.L("blocker", o.name)).Add(int64(n))
+	r.Counter("mc_blocker_runs_total", telemetry.L("blocker", o.name)).Inc()
+	o.ts.SetAttrInt("pairs_out", int64(n))
+	o.ts.End()
+	o.span.End()
+	if prov := provenance.Load(); prov.Active() {
+		for _, w := range prov.WatchedPairs() {
+			ev := "dropped"
+			if out.Contains(w[0], w[1]) {
+				ev = "kept"
+			}
+			prov.Record(w[0], w[1], "blocker", ev,
+				telemetry.L("blocker", o.name),
+				telemetry.L("out_size", strconv.Itoa(n)))
+		}
+	}
 }

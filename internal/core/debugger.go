@@ -10,7 +10,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"matchcatcher/internal/blocker"
@@ -32,6 +34,23 @@ type Options struct {
 	// stages unless they carry their own registry. Nil selects
 	// telemetry.Default(); telemetry.Disabled() switches it off.
 	Metrics *telemetry.Registry
+	// Trace collects the session's hierarchical span tree. Nil builds a
+	// private tracer bridged to the registry, so Trace() always returns a
+	// tree (export it with WriteChromeTrace / WriteTree). Spans ending on
+	// the tracer still observe mc_stage_seconds, so the flat stage
+	// histograms from the registry era keep working.
+	Trace *telemetry.Tracer
+	// Logger receives structured progress records (stage completions,
+	// iteration outcomes) correlated with the session's trace id. Nil
+	// discards them.
+	Logger *slog.Logger
+	// Provenance, when non-nil and watching pairs, records every pipeline
+	// decision that touches a watched pair: blocker keep/drop is recorded
+	// by the blocker package (see blocker.SetProvenance); the join stage
+	// records suppression by C, per-config score, and top-k rank; the
+	// verifier records pool membership, aggregate rank, when the pair was
+	// shown, and its label. Render the lineage with WriteExplainReport.
+	Provenance *telemetry.Provenance
 }
 
 // Debugger is one debugging session for a blocker's output.
@@ -46,6 +65,11 @@ type Debugger struct {
 	verif *ranker.Verifier
 
 	reg       *telemetry.Registry
+	tracer    *telemetry.Tracer
+	session   *telemetry.TraceSpan // root span of the whole session
+	iterSpan  *telemetry.TraceSpan // current debug.iteration span
+	log       *slog.Logger
+	prov      *telemetry.Provenance
 	iterStart time.Time // set by Next, consumed by Feedback
 }
 
@@ -63,25 +87,65 @@ func New(a, b *table.Table, c *blocker.PairSet, opt Options) (*Debugger, error) 
 	if opt.Verifier.Metrics == nil {
 		opt.Verifier.Metrics = reg
 	}
+	tracer := opt.Trace
+	if tracer == nil {
+		tracer = telemetry.NewTracer(reg)
+	}
+	logg := telemetry.LoggerOr(opt.Logger)
+	prov := opt.Provenance
 
-	sp := reg.Start("config.generate")
+	session := tracer.Start("debug.session",
+		telemetry.L("table_a", a.Name()),
+		telemetry.L("table_b", b.Name()))
+	ctx := telemetry.ContextWithSpan(context.Background(), session)
+
+	csp := session.Child("config.generate")
 	res, err := config.Generate(a, b, opt.Config)
-	sp.End()
 	if err != nil {
+		csp.End()
+		session.End()
 		return nil, fmt.Errorf("core: config generation: %w", err)
 	}
-	sp = reg.Start("ssjoin.corpus")
+	csp.SetAttrInt("promising_attrs", int64(len(res.Promising)))
+	csp.End()
+	logg.InfoContext(ctx, "configs generated", "promising_attrs", len(res.Promising))
+
+	sp := session.Child("ssjoin.corpus")
 	cor := ssjoin.NewCorpus(a, b, res)
 	sp.End()
-	sp = reg.Start("ssjoin.joinall")
-	join := ssjoin.JoinAll(cor, c, opt.Join)
-	sp.End()
-	sp = reg.Start("verifier.prepare")
-	ext := feature.NewExtractor(cor)
-	verif := ranker.NewVerifier(join.Lists, ext.Vector, opt.Verifier)
-	sp.End()
 
-	d := &Debugger{a: a, b: b, c: c, res: res, cor: cor, join: join, ext: ext, verif: verif, reg: reg}
+	jsp := session.Child("ssjoin.joinall")
+	if opt.Join.Trace == nil {
+		opt.Join.Trace = jsp
+	}
+	if opt.Join.Provenance == nil {
+		opt.Join.Provenance = prov
+	}
+	join := ssjoin.JoinAll(cor, c, opt.Join)
+	jsp.SetAttrInt("configs", int64(len(join.Lists)))
+	jsp.End()
+	logg.InfoContext(ctx, "joins complete",
+		"configs", len(join.Lists),
+		"scratch_scores", join.Stats.ScratchScores,
+		"reused_scores", join.Stats.ReusedScores)
+
+	vsp := session.Child("verifier.prepare")
+	ext := feature.NewExtractor(cor)
+	if opt.Verifier.Trace == nil {
+		opt.Verifier.Trace = vsp
+	}
+	if opt.Verifier.Provenance == nil {
+		opt.Verifier.Provenance = prov
+	}
+	verif := ranker.NewVerifier(join.Lists, ext.Vector, opt.Verifier)
+	vsp.SetAttrInt("e_size", int64(verif.NumCandidates()))
+	vsp.End()
+	logg.InfoContext(ctx, "verifier ready", "e_size", verif.NumCandidates())
+
+	d := &Debugger{
+		a: a, b: b, c: c, res: res, cor: cor, join: join, ext: ext, verif: verif,
+		reg: reg, tracer: tracer, session: session, log: logg, prov: prov,
+	}
 	reg.Gauge("mc_core_rows_a").Set(float64(a.NumRows()))
 	reg.Gauge("mc_core_rows_b").Set(float64(b.NumRows()))
 	reg.Gauge("mc_core_c_size").Set(float64(c.Len()))
@@ -115,15 +179,25 @@ func (d *Debugger) Candidates() *blocker.PairSet {
 
 // Next returns the next batch of pairs for the user to inspect (at most
 // Verifier.N), or nil when the session has reached its stopping condition.
+// Each Next opens a debug.iteration trace span; the matching Feedback
+// closes it, so every round is one subtree under debug.session.
 func (d *Debugger) Next() []blocker.Pair {
 	d.iterStart = time.Now()
-	return d.verif.Next()
+	if d.iterSpan == nil && !d.verif.Done() {
+		d.iterSpan = d.session.Child("debug.iteration")
+		d.iterSpan.SetAttrInt("iteration", int64(d.verif.Iterations()+1))
+		d.verif.SetTraceParent(d.iterSpan)
+	}
+	out := d.verif.Next()
+	d.iterSpan.SetAttrInt("shown", int64(len(out)))
+	return out
 }
 
 // Feedback records the user's labels for the pairs of the last Next call.
 // One Next+Feedback round is one debugging iteration; its wall time rolls
 // up into mc_core_iteration_seconds.
 func (d *Debugger) Feedback(labels []bool) error {
+	before := len(d.verif.Matches())
 	err := d.verif.Feedback(labels)
 	if err == nil {
 		if !d.iterStart.IsZero() {
@@ -132,9 +206,41 @@ func (d *Debugger) Feedback(labels []bool) error {
 		}
 		d.reg.Gauge("mc_core_iterations").Set(float64(d.verif.Iterations()))
 		d.reg.Gauge("mc_core_matches_found").Set(float64(len(d.verif.Matches())))
+		found := len(d.verif.Matches()) - before
+		d.iterSpan.SetAttrInt("labels", int64(len(labels)))
+		d.iterSpan.SetAttrInt("new_matches", int64(found))
+		d.iterSpan.End()
+		d.iterSpan = nil
+		d.verif.SetTraceParent(d.session)
+		ctx := telemetry.ContextWithSpan(context.Background(), d.session)
+		d.log.InfoContext(ctx, "iteration complete",
+			"iteration", d.verif.Iterations(),
+			"labels", len(labels),
+			"new_matches", found,
+			"total_matches", len(d.verif.Matches()))
 	}
 	return err
 }
+
+// Finish ends the session's root trace span (idempotent). Call it when
+// the interactive loop is over, before exporting the trace.
+func (d *Debugger) Finish() {
+	if d.iterSpan != nil {
+		d.iterSpan.End()
+		d.iterSpan = nil
+	}
+	d.session.End()
+}
+
+// Trace returns the session's tracer (never nil): export its tree with
+// WriteChromeTrace or WriteTree.
+func (d *Debugger) Trace() *telemetry.Tracer { return d.tracer }
+
+// Session returns the session's root trace span.
+func (d *Debugger) Session() *telemetry.TraceSpan { return d.session }
+
+// Provenance returns the session's provenance recorder (may be nil).
+func (d *Debugger) Provenance() *telemetry.Provenance { return d.prov }
 
 // Done reports whether the stopping condition has been reached.
 func (d *Debugger) Done() bool { return d.verif.Done() }
@@ -147,9 +253,12 @@ func (d *Debugger) Iterations() int { return d.verif.Iterations() }
 
 // Run drives the session to completion with a labeling function (e.g. the
 // synthetic user oracle). It routes through the debugger's own Next and
-// Feedback so every round carries iteration telemetry.
+// Feedback so every round carries iteration telemetry, and finishes the
+// session's trace span when the stopping condition is reached.
 func (d *Debugger) Run(label func(a, b int) bool) ranker.RunResult {
-	return ranker.Run(d, label)
+	res := ranker.Run(d, label)
+	d.Finish()
+	return res
 }
 
 // Pair value accessors for presentation layers.

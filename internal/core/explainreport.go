@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"matchcatcher/internal/blocker"
+)
+
+// The explain report renders, for every watched pair, the full decision
+// lineage the provenance layer recorded across the pipeline — which
+// blocker rule kept or dropped the pair, whether the joins suppressed it
+// as a member of C, its exact score and rank under each config, its
+// position in the verifier's candidate pool, and when the user saw and
+// labeled it — followed by the attribute-level diagnosis from Explain.
+// It answers the debugging question the paper's interactive loop serves
+// ("why did my blocker kill this match?") for specific pairs named up
+// front, instead of waiting for the pair to surface in a top-k list.
+
+// WriteExplainReport renders the lineage of every watched pair. It
+// returns an error only on write failure; a session with no watched
+// pairs renders a one-line notice.
+func (d *Debugger) WriteExplainReport(w io.Writer) error {
+	if !d.prov.Active() {
+		_, err := fmt.Fprintln(w, "explain: no watched pairs (use -explain a_row,b_row)")
+		return err
+	}
+	traces := d.prov.Traces()
+	if _, err := fmt.Fprintf(w, "explain report: %d watched pair(s)\n", len(traces)); err != nil {
+		return err
+	}
+	for _, t := range traces {
+		if err := d.writePairLineage(w, t.A, t.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Debugger) writePairLineage(w io.Writer, a, b int) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\npair (%d, %d)\n", a, b)
+	inRange := a >= 0 && a < d.a.NumRows() && b >= 0 && b < d.b.NumRows()
+	if inRange {
+		fmt.Fprintf(&sb, "  A: %s\n", strings.Join(d.RowA(a), ", "))
+		fmt.Fprintf(&sb, "  B: %s\n", strings.Join(d.RowB(b), ", "))
+	} else {
+		sb.WriteString("  (row ids out of range for the loaded tables)\n")
+	}
+	t := d.prov.Trace(a, b)
+	sb.WriteString("  lineage:\n")
+	if t == nil || len(t.Events) == 0 {
+		sb.WriteString("    (no events recorded: the pair never crossed an instrumented decision point)\n")
+	}
+	if t != nil {
+		for _, ev := range t.Events {
+			fmt.Fprintf(&sb, "    [%s] %s%s\n", ev.Stage, ev.Event, renderAttrs(ev.Attrs))
+		}
+		if t.Truncated > 0 {
+			fmt.Fprintf(&sb, "    ... %d earlier event(s) truncated\n", t.Truncated)
+		}
+	}
+	if inRange {
+		ex := d.Explain(blocker.Pair{A: a, B: b})
+		sb.WriteString("  diagnosis:\n")
+		if len(ex.Notes) == 0 {
+			sb.WriteString("    all promising attributes agree\n")
+		}
+		for _, n := range ex.Notes {
+			fmt.Fprintf(&sb, "    %s\n", n)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// renderAttrs renders an event's attributes sorted by key, so reruns of
+// the same session produce byte-identical reports.
+func renderAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %s=%s", k, attrs[k])
+	}
+	return sb.String()
+}

@@ -38,6 +38,11 @@ type Report struct {
 	// report is self-describing about prune rates, reuse hit rates, and
 	// per-stage latency without scraping /metrics.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Provenance is the per-pair decision lineage for every watched pair
+	// (mcdebug -explain): blocker keep/drop, join suppression / score /
+	// rank, verifier pool position, shown/labeled events. Present only
+	// when the session watched pairs.
+	Provenance []*telemetry.PairTrace `json:"provenance,omitempty"`
 }
 
 // Report summarizes the session so far (typically called once Done).
@@ -55,6 +60,9 @@ func (d *Debugger) Report() Report {
 		TopProblems: d.TopProblems(d.Matches(), 5),
 		JoinStats:   d.join.Stats,
 		Telemetry:   d.reg.Snapshot(),
+	}
+	if d.prov.Active() {
+		r.Provenance = d.prov.Traces()
 	}
 	for _, m := range d.Matches() {
 		r.Matches = append(r.Matches, MatchReport{

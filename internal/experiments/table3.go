@@ -35,6 +35,10 @@ type DebugOptions struct {
 	N            int // pairs per verifier iteration (paper: 20)
 	Seed         int64
 	VerifierMode ranker.Mode
+	// Trace, when non-nil, collects every debug session's span tree
+	// (mcbench -trace-out); sessions from different rows land as sibling
+	// trees in one tracer.
+	Trace *telemetry.Tracer
 }
 
 func (o DebugOptions) core() core.Options {
@@ -43,6 +47,7 @@ func (o DebugOptions) core() core.Options {
 	opt.Verifier.N = o.N
 	opt.Verifier.Seed = o.Seed + 7
 	opt.Verifier.Mode = o.VerifierMode
+	opt.Trace = o.Trace
 	return opt
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"matchcatcher/internal/blocker"
@@ -43,6 +44,13 @@ type Options struct {
 	// forest fit/predict latency, hybrid split sizes). Nil selects
 	// telemetry.Default(); telemetry.Disabled() switches it off.
 	Metrics *telemetry.Registry
+	// Trace is the parent span forest-fit/predict spans hang under. The
+	// core debugger re-parents it every iteration (SetTraceParent) so the
+	// spans nest inside the iteration span. Nil disables tracing.
+	Trace *telemetry.TraceSpan
+	// Provenance records each watched pair's verifier lineage: candidate
+	// pool entry and aggregate rank, when it was shown, and its label.
+	Provenance *telemetry.Provenance
 }
 
 func (o Options) withDefaults() Options {
@@ -96,7 +104,9 @@ type Verifier struct {
 	forest  *rforest.Forest
 	stale   bool
 
-	vm verifierMetrics
+	vm    verifierMetrics
+	trace *telemetry.TraceSpan
+	prov  *telemetry.Provenance
 }
 
 // verifierMetrics holds the resolved telemetry instruments (one registry
@@ -142,6 +152,8 @@ func NewVerifier(lists []ssjoin.TopKList, feats FeatureFunc, opt Options) *Verif
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		stale:   true,
 		vm:      newVerifierMetrics(opt.Metrics),
+		trace:   opt.Trace,
+		prov:    opt.Provenance,
 	}
 	for _, l := range lists {
 		for _, p := range l.Pairs {
@@ -159,8 +171,34 @@ func NewVerifier(lists []ssjoin.TopKList, feats FeatureFunc, opt Options) *Verif
 	}
 	v.order = aggregate(lists, v.weights, v.rng)
 	v.vm.candidates.Set(float64(len(v.ids)))
+	if v.prov.Active() {
+		for _, w := range v.prov.WatchedPairs() {
+			idx, inPool := v.byID[pairID(int32(w[0]), int32(w[1]))]
+			_ = idx
+			if !inPool {
+				v.prov.Record(w[0], w[1], "verifier", "not_in_pool",
+					telemetry.L("e_size", strconv.Itoa(len(v.ids))))
+				continue
+			}
+			pos := 0
+			for i, p := range v.order {
+				if p.A == w[0] && p.B == w[1] {
+					pos = i + 1
+					break
+				}
+			}
+			v.prov.Record(w[0], w[1], "verifier", "in_pool",
+				telemetry.L("aggregate_rank", strconv.Itoa(pos)),
+				telemetry.L("e_size", strconv.Itoa(len(v.ids))))
+		}
+	}
 	return v
 }
+
+// SetTraceParent re-parents the verifier's fit/predict trace spans —
+// the core debugger points it at each iteration's span so the forest
+// spans nest under the iteration they belong to.
+func (v *Verifier) SetTraceParent(s *telemetry.TraceSpan) { v.trace = s }
 
 // NumCandidates returns |E|, the number of distinct candidate pairs.
 func (v *Verifier) NumCandidates() int { return len(v.ids) }
@@ -214,6 +252,11 @@ func (v *Verifier) Next() []blocker.Pair {
 	out := make([]blocker.Pair, len(idxs))
 	for i, idx := range idxs {
 		out[i] = idPair(v.ids[idx])
+		if v.prov.Watching(out[i].A, out[i].B) {
+			v.prov.Record(out[i].A, out[i].B, "verifier", "shown",
+				telemetry.L("iteration", strconv.Itoa(v.iter+1)),
+				telemetry.L("position", strconv.Itoa(i+1)))
+		}
 	}
 	return out
 }
@@ -243,12 +286,15 @@ func (v *Verifier) nextHybrid() []int {
 	}
 	var unlabeled []scored
 	predStart := time.Now()
+	psp := v.trace.Child("verifier.predict")
 	for i := range v.ids {
 		if _, done := v.labeled[i]; done {
 			continue
 		}
 		unlabeled = append(unlabeled, scored{i, v.forest.Confidence(v.vec(i))})
 	}
+	psp.SetAttrInt("pairs", int64(len(unlabeled)))
+	psp.End()
 	v.vm.predictSeconds.Observe(time.Since(predStart).Seconds())
 	sort.Slice(unlabeled, func(x, y int) bool {
 		dx := math.Abs(unlabeled[x].conf - 0.5)
@@ -281,6 +327,7 @@ func (v *Verifier) nextConfident(n int, taken map[int]bool) []int {
 	}
 	var unlabeled []scored
 	predStart := time.Now()
+	psp := v.trace.Child("verifier.predict")
 	for i := range v.ids {
 		if _, done := v.labeled[i]; done {
 			continue
@@ -290,6 +337,8 @@ func (v *Verifier) nextConfident(n int, taken map[int]bool) []int {
 		}
 		unlabeled = append(unlabeled, scored{i, v.forest.Confidence(v.vec(i))})
 	}
+	psp.SetAttrInt("pairs", int64(len(unlabeled)))
+	psp.End()
 	v.vm.predictSeconds.Observe(time.Since(predStart).Seconds())
 	sort.Slice(unlabeled, func(x, y int) bool {
 		if unlabeled[x].conf != unlabeled[y].conf {
@@ -328,7 +377,11 @@ func (v *Verifier) ensureForest() {
 	fopt := v.opt.Forest
 	fopt.Seed = v.opt.Seed + int64(v.iter)
 	fitStart := time.Now()
+	fsp := v.trace.Child("verifier.fit")
 	f, err := rforest.Train(exs, fopt)
+	fsp.SetAttrInt("examples", int64(len(exs)))
+	fsp.SetAttrInt("trees", int64(fopt.Trees))
+	fsp.End()
 	v.vm.fitSeconds.Observe(time.Since(fitStart).Seconds())
 	if err != nil {
 		// No labels yet; callers only reach here after bootstrap, but be
@@ -354,11 +407,21 @@ func (v *Verifier) Feedback(labels []bool) error {
 			continue
 		}
 		v.labeled[idx] = y
+		p := idPair(v.ids[idx])
+		if v.prov.Watching(p.A, p.B) {
+			v.prov.Record(p.A, p.B, "verifier", "labeled",
+				telemetry.L("label", strconv.FormatBool(y)),
+				telemetry.L("iteration", strconv.Itoa(v.iter+1)))
+		}
 		if y {
 			v.haveMatch = true
 			newMatches++
-			v.matches = append(v.matches, idPair(v.ids[idx]))
+			v.matches = append(v.matches, p)
 			roundPairs[v.ids[idx]] = true
+			if v.prov.Watching(p.A, p.B) {
+				v.prov.Record(p.A, p.B, "verifier", "confirmed_match",
+					telemetry.L("match_number", strconv.Itoa(len(v.matches))))
+			}
 		} else {
 			v.haveNon = true
 		}

@@ -4,11 +4,13 @@ import (
 	"container/heap"
 	"math/bits"
 	"slices"
+	"strconv"
 	"sync/atomic"
 
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/config"
 	"matchcatcher/internal/simfunc"
+	"matchcatcher/internal/telemetry"
 )
 
 // scorer computes the exact similarity of a record pair under the config
@@ -34,6 +36,10 @@ type runOpts struct {
 	// stats collects this run's event counts (single-goroutine, plain
 	// increments). Always non-nil in real runs; runJoin tolerates nil.
 	stats *runStats
+	// span is this config join's trace span; runJoin opens tokenize /
+	// probe / flush child spans under it. Nil disables tracing (all the
+	// sub-span calls degrade to no-ops).
+	span *telemetry.TraceSpan
 }
 
 // Candidate-pair states are packed into a map[int64]int32 to keep the
@@ -84,6 +90,7 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	}
 	rs := opt.stats
 	nA, nB := len(cor.recsA), len(cor.recsB)
+	tokSpan := opt.span.Child("ssjoin.tokenize")
 	instA := make([][]int64, nA)
 	instB := make([][]int64, nB)
 	for i := range cor.recsA {
@@ -92,6 +99,8 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	for i := range cor.recsB {
 		instB[i] = instances(&cor.recsB[i], mask)
 	}
+	tokSpan.SetAttrInt("records", int64(nA+nB))
+	tokSpan.End()
 	posA := make([]int32, nA)
 	posB := make([]int32, nB)
 
@@ -107,6 +116,9 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	// each pair under this config (scores do not transfer across configs;
 	// the scorer answers from the parent's overlap DB when reuse is on).
 	absorb := func(list []ScoredPair) {
+		if len(list) > 0 {
+			opt.span.Event("absorb", telemetry.L("pairs", strconv.Itoa(len(list))))
+		}
 		for _, p := range list {
 			key := pairKey(p.A, p.B)
 			st, seen := pairs[key]
@@ -141,12 +153,15 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		}
 		heap.Push(&events, event{cap: cap, side: side, rec: rec})
 	}
+	idxSpan := opt.span.Child("ssjoin.index")
 	for i := int32(0); i < int32(nA); i++ {
 		push(0, i)
 	}
 	for i := int32(0); i < int32(nB); i++ {
 		push(1, i)
 	}
+	idxSpan.SetAttrInt("events_seeded", int64(events.Len()))
+	idxSpan.End()
 
 	touch := func(a, b int32) {
 		key := pairKey(a, b)
@@ -167,10 +182,13 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		pairs[key] = st
 	}
 
+	probeSpan := opt.span.Child("ssjoin.probe")
 	steps := 0
 	for events.Len() > 0 {
 		if steps++; steps&1023 == 0 {
 			if opt.cancel != nil && opt.cancel.Load() {
+				probeSpan.Event("cancelled")
+				probeSpan.End()
 				return top.list(mask)
 			}
 			if opt.mergeCh != nil {
@@ -214,6 +232,9 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		}
 		push(ev.side, ev.rec)
 	}
+	probeSpan.SetAttrInt("prefix_events", rs.prefixEvents)
+	probeSpan.SetAttrInt("prune_kills", rs.pruneKills)
+	probeSpan.End()
 
 	// Drain any merge list that arrived after the loop ended.
 	if opt.mergeCh != nil {
@@ -232,6 +253,7 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	// k-th score rises as flushed pairs are admitted, so a deterministic
 	// visit order is what makes reruns reproduce the same list (and the
 	// same mc_ssjoin_flushed_pairs_total count).
+	topkSpan := opt.span.Child("ssjoin.topk")
 	pending := make([]int64, 0, len(pairs))
 	for key, st := range pairs {
 		if st > 0 {
@@ -255,5 +277,8 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		rs.flushedPairs++
 		admit(key, a, b)
 	}
+	topkSpan.SetAttrInt("deferred_pairs", rs.deferredPairs)
+	topkSpan.SetAttrInt("flushed_pairs", rs.flushedPairs)
+	topkSpan.End()
 	return top.list(mask)
 }

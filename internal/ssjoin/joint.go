@@ -2,6 +2,7 @@ package ssjoin
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,15 @@ type Options struct {
 	// join latency, q-race outcome). Nil selects telemetry.Default();
 	// telemetry.Disabled() switches instrumentation off.
 	Metrics *telemetry.Registry
+	// Trace is the parent trace span the executor hangs its per-config
+	// spans under (each config join opens an ssjoin.config span with
+	// tokenize/index/probe/topk children). Nil disables tracing.
+	Trace *telemetry.TraceSpan
+	// Provenance records decision lineage (suppression by C, exact score,
+	// rank) for its watched pairs under every config joined. Nil or an
+	// empty watch-list costs nothing on the hot path: provenance is
+	// derived after each config join finishes, never inside it.
+	Provenance *telemetry.Provenance
 }
 
 func (o Options) withDefaults() Options {
@@ -168,7 +178,11 @@ func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) Top
 		opt.Q = SelectQ(cor, mask, c, opt)
 		snk.recordQ(opt.Q)
 	}
+	recordSuppressionProvenance(opt.Provenance, c)
 	rs := &runStats{}
+	csp := opt.Trace.Child("ssjoin.config",
+		telemetry.L("config", cor.Res.String(mask)),
+		telemetry.L("q", strconv.Itoa(opt.Q)))
 	start := time.Now()
 	list := runJoin(cor, mask, runOpts{
 		k:     opt.K,
@@ -177,8 +191,11 @@ func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) Top
 		c:     c,
 		score: makeScorer(cor, mask, nil, nil, opt.Measure, rs),
 		stats: rs,
+		span:  csp,
 	})
+	csp.End()
 	snk.record(rs, time.Since(start))
+	recordJoinProvenance(opt.Provenance, cor, mask, c, list, opt.Measure)
 	return list
 }
 
@@ -239,6 +256,8 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 	}
 	res.Stats.QUsed = q
 
+	recordSuppressionProvenance(opt.Provenance, c)
+
 	idxOf := make(map[*config.Node]int, len(nodes))
 	for i, n := range nodes {
 		idxOf[n] = i
@@ -269,6 +288,9 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 					parentH = dbs[idxOf[n.Parent]]
 				}
 				rs := &runStats{}
+				csp := opt.Trace.Child("ssjoin.config",
+					telemetry.L("config", cor.Res.String(n.Mask)),
+					telemetry.L("q", strconv.Itoa(q)))
 				ro := runOpts{
 					k:     opt.K,
 					q:     q,
@@ -276,18 +298,25 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 					c:     c,
 					score: makeScorer(cor, n.Mask, parentH, dbs[i], opt.Measure, rs),
 					stats: rs,
+					span:  csp,
 				}
 				if n.Parent != nil && !opt.DisableListReuse {
 					if pi := idxOf[n.Parent]; done[pi].Load() {
 						ro.seeds = lists[pi].Pairs
+						csp.SetAttr("list_reuse", "seed")
 					} else {
 						ro.mergeCh = mergeChs[i]
+						csp.SetAttr("list_reuse", "merge")
 					}
 				}
 				start := time.Now()
 				lists[i] = runJoin(cor, n.Mask, ro)
+				csp.SetAttrInt("scratch_scores", rs.scratchScores)
+				csp.SetAttrInt("reused_scores", rs.reusedScores)
+				csp.End()
 				snk.record(rs, time.Since(start))
 				res.Stats.add(rs)
+				recordJoinProvenance(opt.Provenance, cor, n.Mask, c, lists[i], opt.Measure)
 				done[i].Store(true)
 				for _, ch := range n.Children {
 					ci := idxOf[ch]

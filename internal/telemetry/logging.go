@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Structured logging with trace correlation. NewLogger wraps a standard
+// slog text handler so that any record logged with a context carrying a
+// TraceSpan (ContextWithSpan) automatically gains trace_id/span_id/span
+// attributes — grep a trace id in the logs and you have every line of
+// that pipeline run, the same correlation discipline production agents
+// use. The cmd binaries log to stderr (quiet by default, -v for debug)
+// so stdout stays reserved for their actual output (tables, JSON,
+// interactive prompts).
+
+// correlateHandler decorates records with the context's span identity.
+type correlateHandler struct {
+	inner slog.Handler
+}
+
+func (h correlateHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h correlateHandler) Handle(ctx context.Context, r slog.Record) error {
+	if s := SpanFromContext(ctx); s != nil {
+		r.AddAttrs(
+			slog.Uint64("trace_id", s.TraceID()),
+			slog.Uint64("span_id", s.ID()),
+			slog.String("span", s.Name()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h correlateHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return correlateHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h correlateHandler) WithGroup(name string) slog.Handler {
+	return correlateHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger returns a logger writing logfmt-style text to w at the given
+// level, with span correlation (see package comment). Use slog.LevelWarn
+// for quiet-by-default tools and slog.LevelDebug under -v.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(correlateHandler{inner: slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})})
+}
+
+// noopHandler discards everything (slog.DiscardHandler predates our go
+// directive, so we carry our own).
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }
+
+// NopLogger returns a logger that discards every record — the default
+// for library code when no logger is injected.
+func NopLogger() *slog.Logger { return slog.New(noopHandler{}) }
+
+// LoggerOr returns l, or a no-op logger when l is nil.
+func LoggerOr(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}

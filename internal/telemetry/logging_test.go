@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerTraceCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logg := NewLogger(&buf, slog.LevelInfo)
+
+	tr := NewTracer(nil)
+	root := tr.Start("debug.session")
+	child := root.Child("ssjoin.joinall")
+	ctx := ContextWithSpan(context.Background(), child)
+
+	logg.InfoContext(ctx, "joins complete", "configs", 5)
+	out := buf.String()
+	for _, want := range []string{
+		"msg=\"joins complete\"",
+		"configs=5",
+		fmt.Sprintf("trace_id=%d", root.ID()),
+		fmt.Sprintf("span_id=%d", child.ID()),
+		"span=ssjoin.joinall",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without a span in context, no correlation attrs appear.
+	buf.Reset()
+	logg.Info("plain")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("uncorrelated line should carry no trace_id: %s", buf.String())
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	logg := NewLogger(&buf, slog.LevelWarn)
+	logg.Info("hidden")
+	logg.Debug("hidden too")
+	logg.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info/debug leaked through warn level: %s", out)
+	}
+	if !strings.Contains(out, "visible") {
+		t.Errorf("warn record missing: %s", out)
+	}
+}
+
+func TestLoggerHandlerComposition(t *testing.T) {
+	var buf bytes.Buffer
+	logg := NewLogger(&buf, slog.LevelInfo).With("component", "test").WithGroup("g")
+	tr := NewTracer(nil)
+	s := tr.Start("root")
+	logg.InfoContext(ContextWithSpan(context.Background(), s), "msg", "k", "v")
+	out := buf.String()
+	if !strings.Contains(out, "component=test") || !strings.Contains(out, "g.k=v") {
+		t.Errorf("WithAttrs/WithGroup lost through the correlate handler: %s", out)
+	}
+	if !strings.Contains(out, "span=root") {
+		t.Errorf("correlation lost after With/WithGroup: %s", out)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := NopLogger()
+	// Must swallow everything without panicking, at any level.
+	l.Debug("x")
+	l.Info("x")
+	l.Error("x", "k", "v")
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Error("NopLogger should report disabled at every level")
+	}
+	if LoggerOr(nil) == nil {
+		t.Fatal("LoggerOr(nil) returned nil")
+	}
+	real := NopLogger()
+	if LoggerOr(real) != real {
+		t.Error("LoggerOr should pass through non-nil loggers")
+	}
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Per-pair provenance: MatchCatcher explains why a blocker killed a true
+// match, so its own pipeline should be able to explain what *it* did to
+// any given pair. A Provenance recorder holds a small watch-list of
+// (a_row, b_row) pairs — typically the -explain flags or a handful of
+// gold matches — and every pipeline stage that makes a decision about a
+// watched pair appends a typed event: the blocker rule that kept or
+// dropped it, its exact similarity score and rank under each config, when
+// the verifier showed it to the user and what label came back.
+//
+// Memory is bounded per pair (maxEventsPerPair); recording past the bound
+// counts truncated events instead of growing. A nil *Provenance is a
+// valid no-op recorder, and Active() lets hot paths skip watch checks
+// entirely when nothing is watched.
+
+// maxEventsPerPair bounds the event list of one watched pair.
+const maxEventsPerPair = 512
+
+// ProvEvent is one recorded decision about a watched pair. Attrs is a
+// plain map so JSON encoding is deterministically key-sorted.
+type ProvEvent struct {
+	Seq   uint64            `json:"seq"`
+	Stage string            `json:"stage"`
+	Event string            `json:"event"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// PairTrace is the full recorded lineage of one watched pair.
+type PairTrace struct {
+	A         int         `json:"a_row"`
+	B         int         `json:"b_row"`
+	Events    []ProvEvent `json:"events"`
+	Truncated int         `json:"truncated_events,omitempty"`
+}
+
+// Provenance records decision lineages for a watch-list of pairs.
+type Provenance struct {
+	mu    sync.RWMutex
+	seq   uint64
+	pairs map[int64]*PairTrace
+	order [][2]int // watch insertion order is irrelevant; kept sorted on read
+}
+
+func provKey(a, b int) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+// NewProvenance creates a recorder watching the given pairs.
+func NewProvenance(pairs ...[2]int) *Provenance {
+	p := &Provenance{pairs: map[int64]*PairTrace{}}
+	for _, pr := range pairs {
+		p.Watch(pr[0], pr[1])
+	}
+	return p
+}
+
+// Watch adds one pair to the watch-list (idempotent). Call during setup,
+// before the pipeline runs.
+func (p *Provenance) Watch(a, b int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	k := provKey(a, b)
+	if _, dup := p.pairs[k]; !dup {
+		p.pairs[k] = &PairTrace{A: a, B: b}
+		p.order = append(p.order, [2]int{a, b})
+	}
+	p.mu.Unlock()
+}
+
+// Active reports whether anything is watched (false on nil), so call
+// sites can skip per-pair work wholesale.
+func (p *Provenance) Active() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pairs) > 0
+}
+
+// Watching reports whether (a, b) is on the watch-list.
+func (p *Provenance) Watching(a, b int) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.RLock()
+	_, ok := p.pairs[provKey(a, b)]
+	p.mu.RUnlock()
+	return ok
+}
+
+// WatchedPairs returns the watch-list sorted by (a, b).
+func (p *Provenance) WatchedPairs() [][2]int {
+	if p == nil {
+		return nil
+	}
+	p.mu.RLock()
+	out := make([][2]int, len(p.order))
+	copy(out, p.order)
+	p.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Record appends one event to (a, b)'s lineage; a no-op when the pair is
+// not watched (or the recorder is nil), so callers can record
+// unconditionally for candidate pairs they touch.
+func (p *Provenance) Record(a, b int, stage, event string, attrs ...Label) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	pt := p.pairs[provKey(a, b)]
+	if pt == nil {
+		p.mu.Unlock()
+		return
+	}
+	if len(pt.Events) >= maxEventsPerPair {
+		pt.Truncated++
+		p.mu.Unlock()
+		return
+	}
+	p.seq++
+	pt.Events = append(pt.Events, ProvEvent{
+		Seq:   p.seq,
+		Stage: stage,
+		Event: event,
+		Attrs: labelMap(sortLabels(attrs)),
+	})
+	p.mu.Unlock()
+}
+
+// Trace returns a deep copy of (a, b)'s lineage, or nil if not watched.
+func (p *Provenance) Trace(a, b int) *PairTrace {
+	if p == nil {
+		return nil
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	pt := p.pairs[provKey(a, b)]
+	if pt == nil {
+		return nil
+	}
+	return pt.clone()
+}
+
+// Traces returns deep copies of every watched pair's lineage, sorted by
+// (a, b) — the deterministic order reports embed.
+func (p *Provenance) Traces() []*PairTrace {
+	if p == nil {
+		return nil
+	}
+	p.mu.RLock()
+	out := make([]*PairTrace, 0, len(p.pairs))
+	for _, pt := range p.pairs {
+		out = append(out, pt.clone())
+	}
+	p.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func (pt *PairTrace) clone() *PairTrace {
+	cp := &PairTrace{A: pt.A, B: pt.B, Truncated: pt.Truncated}
+	cp.Events = make([]ProvEvent, len(pt.Events))
+	copy(cp.Events, pt.Events)
+	// Attrs maps are reference types: give each copied event its own so
+	// callers mutating a returned trace cannot corrupt recorder state.
+	for i := range cp.Events {
+		if src := cp.Events[i].Attrs; src != nil {
+			dst := make(map[string]string, len(src))
+			for k, v := range src {
+				dst[k] = v
+			}
+			cp.Events[i].Attrs = dst
+		}
+	}
+	return cp
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestProvenanceWatchAndRecord(t *testing.T) {
+	p := NewProvenance([2]int{3, 7})
+	p.Watch(1, 2)
+	p.Watch(1, 2) // idempotent
+
+	if !p.Active() {
+		t.Fatal("Active = false with two watched pairs")
+	}
+	if !p.Watching(3, 7) || !p.Watching(1, 2) || p.Watching(9, 9) {
+		t.Error("Watching misreports the watch list")
+	}
+	if got := p.WatchedPairs(); len(got) != 2 || got[0] != [2]int{1, 2} || got[1] != [2]int{3, 7} {
+		t.Errorf("WatchedPairs = %v, want sorted [[1 2] [3 7]]", got)
+	}
+
+	p.Record(3, 7, "blocker", "dropped", L("blocker", "hash"))
+	p.Record(3, 7, "ssjoin", "ranked", L("rank", "2"))
+	p.Record(9, 9, "blocker", "dropped") // unwatched: ignored
+
+	tr := p.Trace(3, 7)
+	if tr == nil || len(tr.Events) != 2 {
+		t.Fatalf("Trace(3,7) = %+v, want 2 events", tr)
+	}
+	if tr.Events[0].Stage != "blocker" || tr.Events[0].Event != "dropped" ||
+		tr.Events[0].Attrs["blocker"] != "hash" {
+		t.Errorf("event 0 = %+v", tr.Events[0])
+	}
+	if tr.Events[0].Seq >= tr.Events[1].Seq {
+		t.Errorf("sequence numbers not increasing: %d, %d", tr.Events[0].Seq, tr.Events[1].Seq)
+	}
+	if p.Trace(9, 9) != nil {
+		t.Error("Trace of unwatched pair should be nil")
+	}
+
+	traces := p.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("Traces = %d entries, want 2", len(traces))
+	}
+	if traces[0].A != 1 || traces[0].B != 2 || traces[1].A != 3 || traces[1].B != 7 {
+		t.Errorf("Traces not sorted by (A,B): %+v", traces)
+	}
+	// Traces returns deep copies: mutating them must not corrupt state.
+	traces[1].Events[0].Attrs["blocker"] = "tampered"
+	if p.Trace(3, 7).Events[0].Attrs["blocker"] != "hash" {
+		t.Error("Traces copies share state with the recorder")
+	}
+}
+
+func TestProvenanceNilSafety(t *testing.T) {
+	var p *Provenance
+	if p.Active() || p.Watching(1, 2) {
+		t.Error("nil Provenance should be inactive")
+	}
+	p.Watch(1, 2)
+	p.Record(1, 2, "stage", "event")
+	if p.Trace(1, 2) != nil || p.Traces() != nil || p.WatchedPairs() != nil {
+		t.Error("nil Provenance accessors should return nil")
+	}
+	// Inactive (empty) recorder is also a no-op.
+	empty := NewProvenance()
+	if empty.Active() {
+		t.Error("empty Provenance should be inactive")
+	}
+}
+
+func TestProvenanceTruncation(t *testing.T) {
+	p := NewProvenance([2]int{0, 0})
+	for i := 0; i < maxEventsPerPair+25; i++ {
+		p.Record(0, 0, "stage", fmt.Sprintf("e%d", i))
+	}
+	tr := p.Trace(0, 0)
+	if len(tr.Events) != maxEventsPerPair {
+		t.Errorf("events retained = %d, want %d", len(tr.Events), maxEventsPerPair)
+	}
+	if tr.Truncated != 25 {
+		t.Errorf("Truncated = %d, want 25", tr.Truncated)
+	}
+}
+
+func TestProvenanceConcurrentRecord(t *testing.T) {
+	p := NewProvenance([2]int{1, 1}, [2]int{2, 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Record(1, 1, "s", "e", L("g", fmt.Sprint(g)))
+				p.Record(2, 2, "s", "e")
+				p.Watching(1, 1)
+				p.Trace(2, 2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(p.Trace(1, 1).Events); n != 400 {
+		t.Errorf("pair (1,1) events = %d, want 400", n)
+	}
+	if n := len(p.Trace(2, 2).Events); n != 400 {
+		t.Errorf("pair (2,2) events = %d, want 400", n)
+	}
+}
+
+func TestProvenanceNegativeRows(t *testing.T) {
+	// Row ids are non-negative in practice, but the key packing must not
+	// collide pairs like (0, -1) and (-1, 0) if they ever appear.
+	p := NewProvenance([2]int{0, 5})
+	if p.Watching(5, 0) {
+		t.Error("(5,0) should not alias (0,5)")
+	}
+}

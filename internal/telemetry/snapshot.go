@@ -16,6 +16,13 @@ type HistogramSnapshot struct {
 // Snapshot is a point-in-time, JSON-encodable view of a registry, keyed
 // by fully qualified series (`name{k="v"}`). Embedded in mcdebug -report
 // and mcbench -json output so every run carries its own metrics.
+//
+// Snapshots marshal deterministically: series keys carry their label
+// sets pre-sorted by key (seriesKey sorts at registration, regardless of
+// the order call sites pass labels), and encoding/json emits map keys in
+// sorted order — so two identical runs produce byte-identical snapshot
+// JSON and -report diffs stay stable. TestSnapshotDeterministic guards
+// this property.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotDeterministic guards the -report diff-stability contract:
+// two registries fed the same series in different label and registration
+// orders must marshal to byte-identical snapshot JSON.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(shuffle bool) []byte {
+		r := New()
+		type reg func()
+		ops := []reg{
+			func() { r.Counter("mc_a_total", L("x", "1"), L("y", "2")).Add(5) },
+			func() { r.Counter("mc_b_total").Inc() },
+			func() { r.Gauge("mc_g", L("ds", "M2")).Set(3.5) },
+			func() {
+				h := r.Histogram("mc_h", L("stage", "join"))
+				for i := 1; i <= 32; i++ {
+					h.Observe(float64(i) * 1e-5)
+				}
+			},
+		}
+		if shuffle {
+			// Reverse registration order and swap label order on the
+			// two-label counter; seriesKey must normalize both away.
+			ops[0] = func() { r.Counter("mc_a_total", L("y", "2"), L("x", "1")).Add(5) }
+			for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+				ops[i], ops[j] = ops[j], ops[i]
+			}
+		}
+		for _, op := range ops {
+			op()
+		}
+		data, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := build(false), build(true)
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshots differ across registration orders:\n%s\nvs\n%s", a, b)
+	}
+	// And re-marshalling the same registry is stable too.
+	if c := build(false); !bytes.Equal(a, c) {
+		t.Errorf("snapshot not reproducible:\n%s\nvs\n%s", a, c)
+	}
+}
+
+// TestConcurrentScrapeDuringRun hammers the /metrics endpoint while a
+// simulated debug run mutates the registry — new series registration,
+// counter increments, histogram observations — and requires every scrape
+// to parse. Run under -race this is the regression test for the
+// lock-striped registry's reader/writer interplay.
+func TestConcurrentScrapeDuringRun(t *testing.T) {
+	reg := New()
+	srv, addr, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + addr.String() + "/metrics"
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: mutate existing series and mint fresh ones. Iterations are
+	// capped so series count stays bounded — unbounded minting makes each
+	// scrape O(series) and the test degenerates into a memory blow-up.
+	const writerIters = 4000
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < writerIters; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Counter("mc_run_total", L("worker", fmt.Sprint(w))).Inc()
+				reg.Gauge("mc_run_gauge").Set(float64(i))
+				reg.Histogram(StageHistogram, L("stage", fmt.Sprintf("s%d", i%7))).Observe(float64(i) * 1e-6)
+				if i%100 == 0 {
+					reg.Counter(fmt.Sprintf("mc_series_%d_%d_total", w, i)).Inc()
+				}
+			}
+		}(w)
+	}
+	// Readers: scrape concurrently and check well-formedness.
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("scrape failed: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || len(body) == 0 {
+					t.Errorf("scrape status %d, %d bytes", resp.StatusCode, len(body))
+				}
+				// Snapshots must also be consistent mid-run.
+				if snap := reg.Snapshot(); snap.NumSeries() == 0 && i > 5 {
+					t.Error("empty snapshot while series exist")
+				}
+			}
+		}()
+	}
+	// Writers keep mutating until every reader has finished its scrapes.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+// TestHistogramQuantileAccuracy drives the exponential-bucket quantile
+// estimator with known distributions and checks p50/p90/p99 land within
+// one bucket factor (×2) of the true quantile — the estimator's
+// documented error bound.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	const n = 20000
+	rng := rand.New(rand.NewSource(42))
+
+	dists := []struct {
+		name string
+		gen  func() float64
+		// true quantile function
+		q func(p float64) float64
+	}{
+		{
+			name: "uniform(0,1)",
+			gen:  func() float64 { return rng.Float64() },
+			q:    func(p float64) float64 { return p },
+		},
+		{
+			name: "exponential(mean=0.01)",
+			gen:  func() float64 { return rng.ExpFloat64() * 0.01 },
+			q:    func(p float64) float64 { return -0.01 * math.Log(1-p) },
+		},
+		{
+			name: "fixed(0.125)",
+			gen:  func() float64 { return 0.125 },
+			q:    func(p float64) float64 { return 0.125 },
+		},
+	}
+	for _, d := range dists {
+		h := newHistogram(defaultHistStart, defaultHistFactor, defaultHistBuckets)
+		for i := 0; i < n; i++ {
+			h.Observe(d.gen())
+		}
+		for _, p := range []float64{0.50, 0.90, 0.99} {
+			got := h.Quantile(p)
+			want := d.q(p)
+			// The estimate reports a bucket upper bound: it can overshoot
+			// the true quantile by at most one bucket (×factor) and can
+			// undershoot only by sampling noise near bucket edges (allow
+			// one factor down as well).
+			lo := want / (defaultHistFactor * 1.05)
+			hi := want * defaultHistFactor * 1.05
+			if got < lo || got > hi {
+				t.Errorf("%s p%.0f = %g, want within [%g, %g] (true %g)",
+					d.name, p*100, got, lo, hi, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceTreeStructure(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("session", L("table", "A"))
+	child := root.Child("join")
+	grand := child.Child("probe")
+	grand.SetAttrInt("events", 42)
+	grand.Event("cancelled", L("why", "test"))
+	grand.End()
+	child.End()
+	root.End()
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	spans := tr.Export()
+	byName := map[string]ExportedSpan{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["join"].ParentID != byName["session"].ID {
+		t.Errorf("join parent = %d, want %d", byName["join"].ParentID, byName["session"].ID)
+	}
+	if byName["probe"].ParentID != byName["join"].ID {
+		t.Errorf("probe parent = %d, want %d", byName["probe"].ParentID, byName["join"].ID)
+	}
+	// All spans share the root's trace id.
+	for _, s := range spans {
+		if s.TraceID != byName["session"].ID {
+			t.Errorf("span %s trace id = %d, want %d", s.Name, s.TraceID, byName["session"].ID)
+		}
+	}
+	if byName["probe"].Attrs["events"] != "42" {
+		t.Errorf("probe attrs = %v", byName["probe"].Attrs)
+	}
+	if len(byName["probe"].Events) != 1 || byName["probe"].Events[0].Name != "cancelled" {
+		t.Errorf("probe events = %v", byName["probe"].Events)
+	}
+	if byName["session"].Attrs["table"] != "A" {
+		t.Errorf("session attrs = %v", byName["session"].Attrs)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil tracer Start should return nil span")
+	}
+	// Every method must be a no-op on a nil span.
+	c := s.Child("y")
+	if c != nil {
+		t.Fatal("nil span Child should return nil")
+	}
+	s.Event("e")
+	s.SetAttr("k", "v")
+	s.SetAttrInt("n", 1)
+	if d := s.End(); d != 0 {
+		t.Errorf("nil End = %v", d)
+	}
+	if s.Name() != "" || s.ID() != 0 || s.TraceID() != 0 || s.Tracer() != nil {
+		t.Error("nil span accessors should return zero values")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer Len/Dropped should be 0")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteChromeTrace: %v", err)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetMaxSpans(4)
+	root := tr.Start("root")
+	for i := 0; i < 10; i++ {
+		c := root.Child("c")
+		c.End() // ending does not free retention
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (capped)", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", tr.Dropped())
+	}
+	// Dropped spans are nil and degrade to no-ops.
+	over := root.Child("over")
+	if over != nil {
+		t.Error("span past cap should be nil")
+	}
+	over.SetAttr("k", "v") // must not panic
+}
+
+func TestTraceEndIdempotent(t *testing.T) {
+	tr := NewTracer(nil)
+	s := tr.Start("once")
+	d1 := s.End()
+	time.Sleep(2 * time.Millisecond)
+	d2 := s.End()
+	if d1 != d2 {
+		t.Errorf("second End changed duration: %v vs %v", d1, d2)
+	}
+}
+
+func TestTraceMetricBridge(t *testing.T) {
+	reg := New()
+	tr := NewTracer(reg)
+	s := tr.Start("mystage")
+	s.End()
+	h := reg.Histogram(StageHistogram, L("stage", "mystage"))
+	if h.Count() != 1 {
+		t.Errorf("mc_stage_seconds{stage=mystage} count = %d, want 1", h.Count())
+	}
+}
+
+// TestChromeTraceExport checks the trace_event JSON contract the Chrome
+// about:tracing / Perfetto loaders expect, including >= 3 levels of span
+// nesting (an ISSUE acceptance criterion).
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("debug.session")
+	join := root.Child("ssjoin.joinall")
+	cfg := join.Child("ssjoin.config", L("config", "{name}"))
+	probe := cfg.Child("ssjoin.probe")
+	probe.Event("absorb", L("pairs", "7"))
+	probe.End()
+	cfg.End()
+	join.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	depth := map[string]int{"debug.session": 1, "ssjoin.joinall": 2, "ssjoin.config": 3, "ssjoin.probe": 4}
+	seen := map[string]bool{}
+	var maxDepth int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			seen[ev.Name] = true
+			if d := depth[ev.Name]; d > maxDepth {
+				maxDepth = d
+			}
+			if ev.Dur < 0 {
+				t.Errorf("negative duration on %s", ev.Name)
+			}
+		case "i":
+			if ev.Name != "absorb" || ev.Args["pairs"] != "7" {
+				t.Errorf("instant event = %+v", ev)
+			}
+		case "M": // process metadata
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	for name := range depth {
+		if !seen[name] {
+			t.Errorf("span %s missing from trace events", name)
+		}
+	}
+	if maxDepth < 3 {
+		t.Errorf("nesting depth %d, want >= 3", maxDepth)
+	}
+	// Time containment: a child's [ts, ts+dur] must lie within its
+	// parent's on the same lane (that is what makes the nesting render).
+	var sessTs, sessEnd, probeTs, probeEnd float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Name == "debug.session" {
+			sessTs, sessEnd = ev.Ts, ev.Ts+ev.Dur
+		}
+		if ev.Name == "ssjoin.probe" {
+			probeTs, probeEnd = ev.Ts, ev.Ts+ev.Dur
+		}
+	}
+	if probeTs < sessTs || probeEnd > sessEnd {
+		t.Errorf("probe [%v,%v] not contained in session [%v,%v]", probeTs, probeEnd, sessTs, sessEnd)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("session")
+	c := root.Child("stage", L("k", "v"))
+	c.Event("tick")
+	c.End()
+	root.Child("stage2").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"session", "stage", "stage2", "k=v", "tick"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree dump missing %q:\n%s", want, out)
+		}
+	}
+	// Children are indented under the root.
+	if strings.Index(out, "session") > strings.Index(out, "stage") {
+		t.Errorf("root should print before children:\n%s", out)
+	}
+}
+
+func TestContextSpanRoundTrip(t *testing.T) {
+	tr := NewTracer(nil)
+	s := tr.Start("x")
+	ctx := ContextWithSpan(context.Background(), s)
+	if got := SpanFromContext(ctx); got != s {
+		t.Errorf("SpanFromContext = %v, want %v", got, s)
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Errorf("SpanFromContext on bare ctx = %v, want nil", got)
+	}
+}

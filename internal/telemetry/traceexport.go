@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Trace exporters. Export takes a consistent snapshot of the span set;
+// unfinished spans are exported as if they ended "now", so a live tracer
+// can be dumped mid-run. Output order is deterministic for a given span
+// set: spans sort by (start, id), and ids are assigned in Start order.
+
+// ExportedEvent is one span event in exported form.
+type ExportedEvent struct {
+	Name string `json:"name"`
+	// OffsetMicros is the event time relative to the tracer epoch.
+	OffsetMicros int64             `json:"ts_us"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+}
+
+// ExportedSpan is one span in exported form.
+type ExportedSpan struct {
+	ID          uint64            `json:"id"`
+	ParentID    uint64            `json:"parent_id,omitempty"`
+	TraceID     uint64            `json:"trace_id"`
+	Name        string            `json:"name"`
+	StartMicros int64             `json:"start_us"` // relative to tracer epoch
+	DurMicros   int64             `json:"dur_us"`
+	Unfinished  bool              `json:"unfinished,omitempty"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Events      []ExportedEvent   `json:"events,omitempty"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Export snapshots every retained span, sorted by (start, id).
+func (t *Tracer) Export() []ExportedSpan {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	epoch := t.epoch
+	spans := make([]*TraceSpan, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	out := make([]ExportedSpan, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		end := s.end
+		attrs := labelMap(s.attrs)
+		events := make([]ExportedEvent, 0, len(s.events))
+		for _, ev := range s.events {
+			events = append(events, ExportedEvent{
+				Name:         ev.name,
+				OffsetMicros: ev.at.Sub(epoch).Microseconds(),
+				Attrs:        labelMap(ev.attrs),
+			})
+		}
+		s.mu.Unlock()
+		es := ExportedSpan{
+			ID:          s.id,
+			ParentID:    s.parent,
+			TraceID:     s.root,
+			Name:        s.name,
+			StartMicros: s.start.Sub(epoch).Microseconds(),
+			Attrs:       attrs,
+		}
+		if len(events) > 0 {
+			es.Events = events
+		}
+		if end.IsZero() {
+			end = now
+			es.Unfinished = true
+		}
+		es.DurMicros = end.Sub(s.start).Microseconds()
+		if es.DurMicros < 0 {
+			es.DurMicros = 0
+		}
+		out = append(out, es)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartMicros != out[j].StartMicros {
+			return out[i].StartMicros < out[j].StartMicros
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// spanNode is an ExportedSpan with resolved children, for tree walks.
+type spanNode struct {
+	ExportedSpan
+	children []*spanNode
+}
+
+// buildForest links exported spans into root trees. Spans whose parent
+// was dropped by the retention cap are promoted to roots.
+func buildForest(spans []ExportedSpan) []*spanNode {
+	nodes := make(map[uint64]*spanNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].ID] = &spanNode{ExportedSpan: spans[i]}
+	}
+	var roots []*spanNode
+	for _, es := range spans { // spans is sorted; preserve that order
+		n := nodes[es.ID]
+		if p, ok := nodes[n.ParentID]; ok && n.ParentID != 0 {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// chromeEvent is one trace_event entry (the subset we emit).
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	Dur   int64             `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// assignLanes maps spans onto Chrome "thread" lanes such that every
+// lane's slices are properly nested (Chrome's X events nest by time
+// containment within one tid). A child takes its parent's lane when the
+// lane is free at its start (sequential children stack under the
+// parent); concurrent siblings spill onto fresh lanes. Greedy and
+// deterministic over the sorted span set.
+func assignLanes(roots []*spanNode) map[uint64]int {
+	lanes := map[uint64]int{}
+	var frontier []int64 // per-lane: end of the last completed subtree
+	grab := func(start int64) int {
+		for i, f := range frontier {
+			if f <= start {
+				return i
+			}
+		}
+		frontier = append(frontier, 0)
+		return len(frontier) - 1
+	}
+	var place func(n *spanNode, preferred int)
+	place = func(n *spanNode, preferred int) {
+		lane := preferred
+		if lane < 0 || frontier[lane] > n.StartMicros {
+			lane = grab(n.StartMicros)
+		}
+		lanes[n.ID] = lane
+		frontier[lane] = n.StartMicros // entering: children may nest inside
+		sort.Slice(n.children, func(i, j int) bool {
+			if n.children[i].StartMicros != n.children[j].StartMicros {
+				return n.children[i].StartMicros < n.children[j].StartMicros
+			}
+			return n.children[i].ID < n.children[j].ID
+		})
+		for _, c := range n.children {
+			place(c, lane)
+		}
+		end := n.StartMicros + n.DurMicros
+		if end > frontier[lane] {
+			frontier[lane] = end
+		}
+	}
+	for _, r := range roots {
+		place(r, -1)
+	}
+	return lanes
+}
+
+// WriteChromeTrace writes the span set in the Chrome trace_event JSON
+// format (load in about:tracing or https://ui.perfetto.dev). Spans become
+// complete ("X") events with microsecond timestamps; span events become
+// thread-scoped instant ("i") events; lanes are assigned so nesting in
+// the viewer mirrors the parent/child tree.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Export()
+	roots := buildForest(spans)
+	lanes := assignLanes(roots)
+
+	events := []chromeEvent{{
+		Name: "process_name", Phase: "M", PID: 1, TID: 0,
+		Args: map[string]string{"name": "matchcatcher"},
+	}}
+	var walk func(n *spanNode)
+	walk = func(n *spanNode) {
+		lane := lanes[n.ID]
+		args := map[string]string{}
+		for k, v := range n.Attrs {
+			args[k] = v
+		}
+		args["span_id"] = fmt.Sprint(n.ID)
+		args["trace_id"] = fmt.Sprint(n.TraceID)
+		events = append(events, chromeEvent{
+			Name: n.Name, Phase: "X", TS: n.StartMicros, Dur: n.DurMicros,
+			PID: 1, TID: lane, Args: args,
+		})
+		for _, ev := range n.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Name, Phase: "i", TS: ev.OffsetMicros,
+				PID: 1, TID: lane, Scope: "t", Args: labelArgsCopy(ev.Attrs),
+			})
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+func labelArgsCopy(m map[string]string) map[string]string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteTree writes a human-readable dump of the trace forest:
+//
+//	debug.session 128ms
+//	├─ config.generate 1.8ms
+//	└─ ssjoin.joinall 104ms
+//	   ├─ ssjoin.config 31ms {config={name}}
+//	   │  ├─ tokenize 2.1ms
+//	   ...
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans := t.Export()
+	roots := buildForest(spans)
+	var wr func(n *spanNode, prefix string, last bool, depth int) error
+	wr = func(n *spanNode, prefix string, last bool, depth int) error {
+		connector := ""
+		childPrefix := prefix
+		if depth > 0 {
+			if last {
+				connector = prefix + "└─ "
+				childPrefix = prefix + "   "
+			} else {
+				connector = prefix + "├─ "
+				childPrefix = prefix + "│  "
+			}
+		}
+		line := fmt.Sprintf("%s%s %s", connector, n.Name,
+			time.Duration(n.DurMicros)*time.Microsecond)
+		if n.Unfinished {
+			line += " (unfinished)"
+		}
+		if len(n.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var sb strings.Builder
+			for i, k := range keys {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "%s=%s", k, n.Attrs[k])
+			}
+			line += " {" + sb.String() + "}"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, ev := range n.Events {
+			evLine := childPrefix
+			if len(n.children) > 0 {
+				evLine += "│"
+			}
+			if _, err := fmt.Fprintf(w, "%s  · %s\n", evLine, ev.Name); err != nil {
+				return err
+			}
+		}
+		for i, c := range n.children {
+			if err := wr(c, childPrefix, i == len(n.children)-1, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := wr(r, "", true, 0); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d spans dropped by the retention cap)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -33,10 +33,12 @@ package matchcatcher
 
 import (
 	"io"
+	"log/slog"
 
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/core"
 	"matchcatcher/internal/table"
+	"matchcatcher/internal/telemetry"
 )
 
 // Table is an in-memory relation; see internal/table.
@@ -111,4 +113,34 @@ type Explanation = core.Explanation
 // C. The debugger never sees the blocker itself.
 func New(a, b *Table, c *PairSet, opt Options) (*Debugger, error) {
 	return core.New(a, b, c, opt)
+}
+
+// Observability surface: tracing, per-pair provenance, structured logging.
+
+// Tracer collects hierarchical span trees from a debugging session; set
+// Options.Trace, then export with WriteChromeTrace (chrome://tracing /
+// Perfetto) or WriteTree (human-readable dump).
+type Tracer = telemetry.Tracer
+
+// TraceSpan is one node of a trace tree.
+type TraceSpan = telemetry.TraceSpan
+
+// NewTracer creates a tracer; pass nil to detach it from the metric
+// registry, or telemetry's default registry to bridge span durations into
+// the mc_stage_seconds histograms.
+func NewTracer() *Tracer { return telemetry.NewTracer(telemetry.Default()) }
+
+// Provenance records every pipeline decision that touches a watched pair
+// (blocker keep/drop, join suppression/score/rank, verifier lineage). Set
+// Options.Provenance and render with Debugger.WriteExplainReport.
+type Provenance = telemetry.Provenance
+
+// NewProvenance returns a recorder watching the given (aRow, bRow) pairs.
+func NewProvenance(pairs ...[2]int) *Provenance { return telemetry.NewProvenance(pairs...) }
+
+// NewLogger returns a structured logger whose records gain
+// trace_id/span_id correlation when logged with a context carrying a
+// TraceSpan. Set Options.Logger to hear the debugger's progress.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return telemetry.NewLogger(w, level)
 }
