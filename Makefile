@@ -1,0 +1,47 @@
+# MatchCatcher developer entry points. `make lint` mirrors the CI lint
+# gates: go vet + mclint (the repo's own analyzer suite, tier-1) always
+# run; staticcheck runs when installed locally (CI pins it, see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race vet mclint lint vuln fuzz-smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# mclint enforces the determinism/telemetry/concurrency invariants
+# (mapiter, seededrand, metricname, spanend, floatcmp). Suppressions
+# (//lint:allow <analyzer> <reason>) are counted in the summary, never
+# silent. See DESIGN.md "Static Analysis & Invariants".
+mclint:
+	$(GO) run ./cmd/mclint -summary ./...
+
+lint: vet mclint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs honnef.co/go/tools@2025.1.1)"; \
+	fi
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipped (CI runs golang.org/x/vuln@v1.1.4)"; \
+	fi
+
+fuzz-smoke:
+	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzSoundex -fuzztime 10s

@@ -1,0 +1,163 @@
+// Command mclint runs MatchCatcher's custom static-analysis suite
+// (internal/lint) over the given package patterns. It is the CI gate
+// for the repo's determinism, telemetry, and concurrency invariants.
+//
+// Usage:
+//
+//	mclint [flags] [packages]
+//
+//	mclint ./...
+//	mclint -summary ./internal/... ./cmd/...
+//	mclint -only mapiter,floatcmp ./internal/ssjoin
+//
+// Exit status: 0 when no active diagnostics were found, 1 when at
+// least one diagnostic was reported, 2 on usage or load errors.
+//
+// Findings can be silenced at a call site with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line directly above. Suppressions are
+// never silent: `-summary` counts and lists them, and unused
+// suppressions are themselves diagnostics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"matchcatcher/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+type options struct {
+	summary  bool
+	jsonOut  bool
+	only     string
+	listOnly bool
+}
+
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.BoolVar(&o.summary, "summary", false, "print per-analyzer totals, including suppressed findings")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit findings as JSON")
+	fs.StringVar(&o.only, "only", "", "comma-separated analyzer names to run (default: all)")
+	fs.BoolVar(&o.listOnly, "list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mclint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if o.listOnly {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if o.only != "" {
+		var sel []*lint.Analyzer
+		for _, name := range strings.Split(o.only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "mclint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			sel = append(sel, a)
+		}
+		analyzers = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mclint: %v\n", err)
+		return 2
+	}
+	res, err := lint.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "mclint: %v\n", err)
+		return 2
+	}
+
+	active := res.Active()
+	suppressed := res.Suppressed()
+
+	if o.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		type jsonFinding struct {
+			Analyzer   string `json:"analyzer"`
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Column     int    `json:"column"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed,omitempty"`
+			Reason     string `json:"reason,omitempty"`
+		}
+		out := make([]jsonFinding, 0, len(res.Findings))
+		for _, f := range res.Findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer, File: f.Pos.Filename, Line: f.Pos.Line,
+				Column: f.Pos.Column, Message: f.Message,
+				Suppressed: f.Suppressed, Reason: f.Reason,
+			})
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "mclint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range active {
+			fmt.Fprintf(stdout, "%s\n", f)
+		}
+	}
+
+	if o.summary {
+		act, sup := res.CountByAnalyzer(analyzers)
+		names := make([]string, 0, len(act))
+		for name := range act {
+			names = append(names, name)
+		}
+		for name := range sup {
+			if _, ok := act[name]; !ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(stdout, "mclint: %d package(s), %d finding(s), %d suppressed\n",
+			len(pkgs), len(active), len(suppressed))
+		for _, name := range names {
+			if name == "lint" && act[name] == 0 && sup[name] == 0 {
+				continue
+			}
+			fmt.Fprintf(stdout, "  %-12s %d finding(s), %d suppressed\n", name, act[name], sup[name])
+		}
+		for _, f := range suppressed {
+			fmt.Fprintf(stdout, "  suppressed: %s: %s: %s (%s)\n", f.Pos, f.Analyzer, f.Message, f.Reason)
+		}
+	}
+
+	if len(active) > 0 {
+		return 1
+	}
+	return 0
+}

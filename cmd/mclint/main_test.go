@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The end-to-end fixture: testdata/fixturemod is a real module (with a
+// replace directive back to this repo, so it can import the real
+// telemetry package) holding one seeded violation per analyzer in
+// ./dirty and only approved idioms in ./clean. Because it lives under
+// testdata/ the go tool never builds it as part of ./..., so the
+// violations cannot leak into the repo's own lint gate.
+const fixtureDir = "testdata/fixturemod"
+
+func runMclint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, fixtureDir, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestDirtyModuleFiresEveryAnalyzer asserts exit code 1 and one
+// diagnostic per analyzer, each with its distinctive message, at the
+// expected file.
+func TestDirtyModuleFiresEveryAnalyzer(t *testing.T) {
+	code, out, errb := runMclint(t, "-summary", "./dirty")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	for _, want := range []string{
+		"mapiter: output written inside a map range",
+		"seededrand: rand.Intn uses the process-global math/rand state",
+		`metricname: metric name "mc_clean_items_total" claims package segment "clean" but is registered from package "dirty"`,
+		`spanend: span "s" from Tracer.Start is never ended in this function`,
+		"floatcmp: exact == between computed floats",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q\ngot:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "dirty.go:"); n != 6 {
+		// 5 active + 1 suppressed (listed by -summary).
+		t.Errorf("found %d dirty.go diagnostics, want 6 (5 active + 1 suppressed)\n%s", n, out)
+	}
+	if !strings.Contains(out, "5 finding(s), 1 suppressed") {
+		t.Errorf("summary totals missing from:\n%s", out)
+	}
+	if !strings.Contains(out, "end-to-end suppression accounting") {
+		t.Errorf("-summary must list the suppression reason; got:\n%s", out)
+	}
+}
+
+// TestCleanModuleExitsZero asserts the approved idioms produce no
+// findings.
+func TestCleanModuleExitsZero(t *testing.T) {
+	code, out, errb := runMclint(t, "./clean")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean run printed findings:\n%s", out)
+	}
+}
+
+// TestOnlyRestrictsAnalyzers runs a single analyzer over the dirty
+// package and expects only its finding.
+func TestOnlyRestrictsAnalyzers(t *testing.T) {
+	code, out, _ := runMclint(t, "-only", "seededrand", "./dirty")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "seededrand:") {
+		t.Errorf("missing seededrand finding:\n%s", out)
+	}
+	for _, other := range []string{"mapiter:", "metricname:", "spanend:", "floatcmp:"} {
+		if strings.Contains(out, other) {
+			t.Errorf("-only seededrand leaked %s finding:\n%s", other, out)
+		}
+	}
+}
+
+// TestJSONOutput checks the machine-readable form round-trips and
+// carries the suppression flag.
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runMclint(t, "-json", "./dirty")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	var findings []struct {
+		Analyzer   string `json:"analyzer"`
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 6 {
+		t.Fatalf("JSON findings = %d, want 6 (5 active + 1 suppressed)", len(findings))
+	}
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+		}
+		if f.Line == 0 || f.File == "" {
+			t.Errorf("finding missing position: %+v", f)
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed findings in JSON = %d, want 1", suppressed)
+	}
+}
+
+// TestListAnalyzers asserts -list names the full suite and exits 0.
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := runMclint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	for _, name := range []string{"floatcmp", "mapiter", "metricname", "seededrand", "spanend"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing analyzer %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestUsageErrorsExitTwo covers bad flags and unknown analyzers.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	if code, _, _ := runMclint(t, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: exit code = %d, want 2", code)
+	}
+	if code, _, errb := runMclint(t, "-only", "nosuch", "./dirty"); code != 2 || !strings.Contains(errb, "unknown analyzer") {
+		t.Errorf("unknown analyzer: exit code = %d, stderr = %q; want 2 + mention", code, errb)
+	}
+	if code, _, errb := runMclint(t, "./does/not/exist"); code != 2 {
+		t.Errorf("bad pattern: exit code = %d, want 2 (stderr %q)", code, errb)
+	}
+}

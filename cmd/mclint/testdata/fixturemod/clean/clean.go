@@ -1,0 +1,44 @@
+// Package clean holds only approved idioms; mclint must exit 0 when
+// pointed at it.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+
+	"matchcatcher/internal/floats"
+	"matchcatcher/internal/telemetry"
+)
+
+// SortedKeys is the approved map-iteration idiom.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Shuffled threads an explicitly seeded generator.
+func Shuffled(xs []int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Register follows the mc_<pkg>_<name> convention.
+func Register(r *telemetry.Registry) *telemetry.Counter {
+	return r.Counter("mc_clean_items_total")
+}
+
+// Traced follows the defer-End discipline.
+func Traced(tr *telemetry.Tracer) {
+	s := tr.Start("work")
+	defer s.End()
+	s.Event("begin")
+}
+
+// Close compares through the approved helpers.
+func Close(a, b float64) bool {
+	return floats.EqualWithin(a, b, 1e-9)
+}

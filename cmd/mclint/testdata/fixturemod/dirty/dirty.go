@@ -1,0 +1,46 @@
+// Package dirty seeds exactly one violation per mclint analyzer, so
+// the end-to-end test can assert that every analyzer fires through the
+// real binary path: go list loading, export-data type-checking,
+// suppression resolution, exit codes, and -summary output.
+package dirty
+
+import (
+	"fmt"
+	"math/rand"
+
+	"matchcatcher/internal/telemetry"
+)
+
+// mapiter: output order follows randomized map order.
+func dumpAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// seededrand: process-global generator state.
+func pick(n int) int {
+	return rand.Intn(n)
+}
+
+// metricname: wrong package segment (registered from "dirty").
+func register(r *telemetry.Registry) *telemetry.Counter {
+	return r.Counter("mc_clean_items_total")
+}
+
+// spanend: span minted and leaked.
+func leak(tr *telemetry.Tracer) {
+	s := tr.Start("leaky")
+	s.Event("begin")
+}
+
+// floatcmp: exact equality between computed scores.
+func tie(a, b float64) bool {
+	return a == b
+}
+
+// suppressed: one silenced finding so -summary accounting is exercised
+// end to end as well.
+func allowedTie(a, b float64) bool {
+	return a == b //lint:allow floatcmp fixture exercises end-to-end suppression accounting
+}

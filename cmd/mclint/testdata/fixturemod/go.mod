@@ -1,0 +1,7 @@
+module matchcatcher/fixturemod
+
+go 1.22
+
+require matchcatcher v0.0.0
+
+replace matchcatcher => ../../../..

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 
+	"matchcatcher/internal/floats"
 	"matchcatcher/internal/simfunc"
 	"matchcatcher/internal/table"
 	"matchcatcher/internal/tokenize"
@@ -277,7 +278,9 @@ func blockConjunct(c *compiler, conj []Atom, out *PairSet) {
 		drivePrefixFilter(drv, t, verify)
 	case FeatOverlapCount:
 		cnt := int(math.Ceil(at.Value))
-		if at.Op == OpGT && float64(cnt) == at.Value {
+		// Exact on purpose: cnt is an integer-valued float and the rule
+		// threshold must flip strictly-greater to at-least on the boundary.
+		if at.Op == OpGT && floats.Equal(float64(cnt), at.Value) {
 			cnt++
 		}
 		if cnt < 1 {
@@ -286,7 +289,8 @@ func blockConjunct(c *compiler, conj []Atom, out *PairSet) {
 		driveOverlapCount(drv, cnt, verify)
 	case FeatEditDist:
 		d := int(math.Floor(at.Value))
-		if at.Op == OpLT && float64(d) == at.Value {
+		// Exact on purpose: same integer-boundary flip as overlap counts.
+		if at.Op == OpLT && floats.Equal(float64(d), at.Value) {
 			d--
 		}
 		driveEditDistance(drv, d, verify)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"matchcatcher/internal/floats"
 	"matchcatcher/internal/simfunc"
 	"matchcatcher/internal/table"
 	"matchcatcher/internal/tokenize"
@@ -186,9 +187,11 @@ func (op CmpOp) holds(x, v float64) bool {
 	case OpGE:
 		return x >= v
 	case OpEQ:
-		return x == v
+		// Exact by rule-language definition: "feature == value" in a
+		// Magellan-style rule means bitwise float equality.
+		return floats.Equal(x, v)
 	case OpNE:
-		return x != v
+		return !floats.Equal(x, v)
 	}
 	panic("blocker: unknown op")
 }

@@ -276,6 +276,31 @@ func (p *parser) parseAtom() (Expr, error) {
 	return Atom{Feature: feat, Op: op, Value: v}, nil
 }
 
+// suffixKinds maps feature-name suffixes to similarity kinds. The
+// slice is ordered longest (most specific) suffix first and is
+// iterated in that fixed order, so matching is deterministic no matter
+// how the table grows — a map here would make first-match-wins parsing
+// depend on randomized iteration order (mclint's mapiter analyzer now
+// rejects that shape).
+var suffixKinds = []struct {
+	suf  string
+	kind FeatureKind
+}{
+	{"_jaro", FeatJaro},
+	{"_jw", FeatJaroWinkler},
+}
+
+// attrTransforms maps transform spellings to transforms, ordered
+// longest name first for the same deterministic first-match-wins
+// reason as suffixKinds.
+var attrTransforms = []struct {
+	name string
+	tr   Transform
+}{
+	{"firstword", TransformFirstWord},
+	{"lastword", TransformLastWord},
+}
+
 // parseFeature decodes a feature identifier. Attribute names may contain
 // underscores, so suffixes are matched from the right.
 func parseFeature(ident string) (Feature, error) {
@@ -304,14 +329,13 @@ func parseFeature(ident string) (Feature, error) {
 			return Feature{Attr: attr, Transform: tr, Kind: FeatEditDist}, nil
 		}
 	}
-	// _jw before _jaro so neither shadows the other by substring.
-	for suf, kind := range map[string]FeatureKind{"_jw": FeatJaroWinkler, "_jaro": FeatJaro} {
-		if rest, ok := strings.CutSuffix(ident, suf); ok {
+	for _, sk := range suffixKinds {
+		if rest, ok := strings.CutSuffix(ident, sk.suf); ok {
 			attr, tr, err := parseAttrRef(rest)
 			if err != nil {
 				return Feature{}, err
 			}
-			return Feature{Attr: attr, Transform: tr, Kind: kind}, nil
+			return Feature{Attr: attr, Transform: tr, Kind: sk.kind}, nil
 		}
 	}
 	// <attr>_<measure>_<tok>
@@ -349,13 +373,13 @@ func parseFeature(ident string) (Feature, error) {
 
 // parseAttrRef decodes "attr", "lastword(attr)", or "firstword(attr)".
 func parseAttrRef(s string) (attr string, tr Transform, err error) {
-	for name, t := range map[string]Transform{"lastword": TransformLastWord, "firstword": TransformFirstWord} {
-		if inner, ok := strings.CutPrefix(s, name+"("); ok {
+	for _, at := range attrTransforms {
+		if inner, ok := strings.CutPrefix(s, at.name+"("); ok {
 			inner, ok = strings.CutSuffix(inner, ")")
 			if !ok || inner == "" {
 				return "", TransformNone, fmt.Errorf("blocker: malformed transform in %q", s)
 			}
-			return inner, t, nil
+			return inner, at.tr, nil
 		}
 	}
 	if s == "" || strings.ContainsAny(s, "()") {

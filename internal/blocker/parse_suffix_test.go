@@ -1,0 +1,68 @@
+package blocker
+
+import "testing"
+
+// TestSuffixParsingOrderIndependent is the regression test for the
+// map-iteration parse ambiguity fixed alongside mclint's mapiter
+// analyzer: the _jw/_jaro suffix table and the lastword/firstword
+// transform table used to live in maps and were resolved
+// first-match-wins under randomized map iteration order. The tables
+// are now fixed-order slices (longest/most-specific entry first), so
+// every ident must resolve to exactly one feature kind on every run.
+func TestSuffixParsingOrderIndependent(t *testing.T) {
+	cases := []struct {
+		ident string
+		kind  FeatureKind
+		attr  string
+		tr    Transform
+	}{
+		{"title_jaro", FeatJaro, "title", TransformNone},
+		{"title_jw", FeatJaroWinkler, "title", TransformNone},
+		// Attribute names that themselves end in suffix-like tails:
+		// the suffix must be cut from the right exactly once.
+		{"a_jaro_jw", FeatJaroWinkler, "a_jaro", TransformNone},
+		{"a_jw_jaro", FeatJaro, "a_jw", TransformNone},
+		{"lastword(name)_jw", FeatJaroWinkler, "name", TransformLastWord},
+		{"firstword(name)_jaro", FeatJaro, "name", TransformFirstWord},
+	}
+	// Repeat enough times that, were matching still map-ordered, the
+	// randomized order would flip at least one outcome with
+	// overwhelming probability.
+	for run := 0; run < 64; run++ {
+		for _, c := range cases {
+			f, err := parseFeature(c.ident)
+			if err != nil {
+				t.Fatalf("run %d: parseFeature(%q): %v", run, c.ident, err)
+			}
+			if f.Kind != c.kind || f.Attr != c.attr || f.Transform != c.tr {
+				t.Fatalf("run %d: parseFeature(%q) = kind %v attr %q tr %v; want kind %v attr %q tr %v",
+					run, c.ident, f.Kind, f.Attr, f.Transform, c.kind, c.attr, c.tr)
+			}
+		}
+	}
+}
+
+// TestSuffixTableMostSpecificFirst pins the table discipline itself:
+// the _jaro entry must precede _jw (longest suffix first), and the
+// transform table must be ordered the same way, so that growing either
+// table cannot silently introduce shadowing.
+func TestSuffixTableMostSpecificFirst(t *testing.T) {
+	for i := 1; i < len(suffixKinds); i++ {
+		if len(suffixKinds[i-1].suf) < len(suffixKinds[i].suf) {
+			t.Errorf("suffixKinds[%d]=%q is longer than its predecessor %q; keep longest-first order",
+				i, suffixKinds[i].suf, suffixKinds[i-1].suf)
+		}
+	}
+	for i := 1; i < len(attrTransforms); i++ {
+		if len(attrTransforms[i-1].name) < len(attrTransforms[i].name) {
+			t.Errorf("attrTransforms[%d]=%q is longer than its predecessor %q; keep longest-first order",
+				i, attrTransforms[i].name, attrTransforms[i-1].name)
+		}
+	}
+	// And the expression parser must agree end to end.
+	for _, expr := range []string{"name_jw>=0.9", "name_jaro>=0.9"} {
+		if _, err := Parse(expr); err != nil {
+			t.Errorf("Parse(%q): %v", expr, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package blocker
 
 import (
 	"fmt"
+	"sort"
 
 	"matchcatcher/internal/table"
 	"matchcatcher/internal/tokenize"
@@ -144,6 +145,7 @@ func (c *Canopy) Block(a, b *table.Table) (*PairSet, error) {
 	// Deterministic seed order: records as given (the classic algorithm
 	// picks random seeds; fixed order keeps runs reproducible).
 	counts := map[int]int{}
+	var touched []int // candidate indices with counts[i] > 0, reset per seed
 	for seed := range recs {
 		if !inPool[seed] {
 			continue
@@ -153,19 +155,27 @@ func (c *Canopy) Block(a, b *table.Table) (*PairSet, error) {
 		if len(st.toks) == 0 {
 			continue
 		}
-		clear(counts)
 		for _, tok := range st.toks {
 			for _, i := range idx[tok] {
+				if counts[i] == 0 {
+					touched = append(touched, i)
+				}
 				counts[i]++
 			}
 		}
+		// Candidates in ascending record order, not map order: canopy
+		// membership is per-candidate so the emitted pair *set* never
+		// depended on order, but deterministic iteration keeps the
+		// canopy slices (and any future tracing of them) reproducible.
+		sort.Ints(touched)
 		var canopyA, canopyB []int
 		if st.side == 0 {
 			canopyA = append(canopyA, st.row)
 		} else {
 			canopyB = append(canopyB, st.row)
 		}
-		for i, o := range counts {
+		for _, i := range touched {
+			o := counts[i]
 			if i == seed {
 				continue
 			}
@@ -188,6 +198,12 @@ func (c *Canopy) Block(a, b *table.Table) (*PairSet, error) {
 				out.Add(ra, rb)
 			}
 		}
+		// Reset only the entries this seed touched (cheaper than
+		// clearing the whole map when canopies are small).
+		for _, i := range touched {
+			delete(counts, i)
+		}
+		touched = touched[:0]
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/floats"
 	"matchcatcher/internal/simfunc"
 	"matchcatcher/internal/tokenize"
 )
@@ -230,7 +231,7 @@ func (d *Debugger) SimilarCandidates(p blocker.Pair, n int) []blocker.Pair {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].dist != all[j].dist {
+		if !floats.Equal(all[i].dist, all[j].dist) {
 			return all[i].dist < all[j].dist
 		}
 		if all[i].pair.A != all[j].pair.A {

@@ -1,0 +1,76 @@
+package floats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestEqualIsExact(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.5, 1.5, true},
+		{0, math.Copysign(0, -1), true}, // -0 == +0, same as ==
+		{1, math.Nextafter(1, 2), false},
+		{math.NaN(), math.NaN(), false}, // NaN != NaN, same as ==
+		{math.Inf(1), math.Inf(1), true},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualWithin(t *testing.T) {
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1.0, 1.0 + 1e-12, 1e-9, true},
+		{1.0, 1.0 + 1e-6, 1e-9, false},
+		{-1, 1, 2, true},                    // boundary: |a-b| == eps
+		{math.NaN(), 1, math.Inf(1), false}, // NaN within nothing
+		{1, math.NaN(), math.Inf(1), false},
+	}
+	for _, c := range cases {
+		if got := EqualWithin(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("EqualWithin(%v, %v, %v) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+// TestLessNaNTotalOrder pins the property Less exists for: sorting a
+// slice containing NaNs is deterministic (NaNs first), where a raw <
+// comparator would leave them wherever the sort's pivots happened to
+// put them.
+func TestLessNaNTotalOrder(t *testing.T) {
+	if !Less(math.NaN(), -math.MaxFloat64) {
+		t.Error("Less(NaN, -max) = false, want true (NaN sorts first)")
+	}
+	if Less(1, math.NaN()) {
+		t.Error("Less(1, NaN) = true, want false")
+	}
+	if Less(math.NaN(), math.NaN()) {
+		t.Error("Less(NaN, NaN) = true, want false (irreflexive)")
+	}
+	if !Less(1, 2) || Less(2, 1) || Less(1, 1) {
+		t.Error("Less must agree with < on ordinary numbers")
+	}
+
+	xs := []float64{3, math.NaN(), 1, math.Inf(-1), math.NaN(), 2}
+	sort.Slice(xs, func(i, j int) bool { return Less(xs[i], xs[j]) })
+	for i := 0; i < 2; i++ {
+		if !math.IsNaN(xs[i]) {
+			t.Fatalf("after sort, xs[%d] = %v, want NaN first; xs = %v", i, xs[i], xs)
+		}
+	}
+	want := []float64{math.Inf(-1), 1, 2, 3}
+	for i, w := range want {
+		if xs[i+2] != w {
+			t.Fatalf("after sort, xs[%d] = %v, want %v; xs = %v", i+2, xs[i+2], w, xs)
+		}
+	}
+}

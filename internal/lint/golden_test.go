@@ -1,0 +1,85 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"matchcatcher/internal/lint"
+	"matchcatcher/internal/lint/linttest"
+)
+
+// The golden suite: each analyzer runs over its fixture package in
+// testdata/src/<dir>, and the harness matches findings against the
+// fixture's inline `// want "substr"` comments. Every fixture mixes
+// want-annotated violations with clean counterexamples, so both missed
+// and surplus diagnostics fail the test.
+
+func TestMapIterGolden(t *testing.T) {
+	linttest.Run(t, lint.MapIterAnalyzer, "testdata/src/mapiter")
+}
+
+func TestSeededRandGolden(t *testing.T) {
+	linttest.Run(t, lint.SeededRandAnalyzer, "testdata/src/seededrand")
+}
+
+func TestMetricNameGolden(t *testing.T) {
+	linttest.Run(t, lint.MetricNameAnalyzer, "testdata/src/metricname")
+}
+
+func TestSpanEndGolden(t *testing.T) {
+	linttest.Run(t, lint.SpanEndAnalyzer, "testdata/src/spanend")
+}
+
+func TestFloatCmpGolden(t *testing.T) {
+	linttest.Run(t, lint.FloatCmpAnalyzer, "testdata/src/floatcmp")
+}
+
+// TestSuppressionAccounting proves //lint:allow directives silence
+// findings without deleting them: the two suppressed findings stay
+// countable (with their reasons), and the stale directive surfaces as
+// an active finding of the pseudo-analyzer "lint".
+func TestSuppressionAccounting(t *testing.T) {
+	res := linttest.RunAll(t, "testdata/src/suppress")
+
+	sup := res.Suppressed()
+	if len(sup) != 2 {
+		t.Fatalf("suppressed findings = %d, want 2:\n%v", len(sup), sup)
+	}
+	byAnalyzer := map[string]lint.Finding{}
+	for _, f := range sup {
+		if f.Reason == "" {
+			t.Errorf("suppressed finding %v has an empty reason", f)
+		}
+		byAnalyzer[f.Analyzer] = f
+	}
+	if _, ok := byAnalyzer["mapiter"]; !ok {
+		t.Errorf("missing suppressed mapiter finding; got %v", sup)
+	}
+	if f, ok := byAnalyzer["floatcmp"]; !ok {
+		t.Errorf("missing suppressed floatcmp finding; got %v", sup)
+	} else if !strings.Contains(f.Reason, "standalone-comment") {
+		t.Errorf("floatcmp suppression reason = %q, want the fixture's reason text", f.Reason)
+	}
+
+	act := res.Active()
+	if len(act) != 1 {
+		t.Fatalf("active findings = %d, want exactly the stale directive:\n%v", len(act), act)
+	}
+	if act[0].Analyzer != "lint" || !strings.Contains(act[0].Message, "unused //lint:allow floatcmp") {
+		t.Errorf("active finding = %v, want an unused-directive report from analyzer \"lint\"", act[0])
+	}
+
+	// CountByAnalyzer powers `mclint -summary`; the totals must agree.
+	active, suppressed := res.CountByAnalyzer(lint.All())
+	if suppressed["mapiter"] != 1 || suppressed["floatcmp"] != 1 {
+		t.Errorf("suppressed counts = %v, want mapiter:1 floatcmp:1", suppressed)
+	}
+	if active["lint"] != 1 {
+		t.Errorf("active[lint] = %d, want 1 (the stale directive)", active["lint"])
+	}
+	for _, a := range lint.All() {
+		if n := active[a.Name]; n != 0 {
+			t.Errorf("active[%s] = %d, want 0 (only the lint pseudo-analyzer may fire)", a.Name, n)
+		}
+	}
+}

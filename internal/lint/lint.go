@@ -1,0 +1,213 @@
+// Package lint is MatchCatcher's custom static-analysis suite. It
+// mechanically enforces the determinism, telemetry, and concurrency
+// invariants the codebase relies on for exact, reproducible recall
+// debugging: same seed, same candidate set, same top-k lists, same
+// explain report.
+//
+// The suite is shaped after golang.org/x/tools/go/analysis (Analyzer /
+// Pass / Diagnostic) but is built entirely on the standard library
+// (go/ast, go/types, go/importer) so the module stays dependency-free:
+// packages are loaded from `go list -export` metadata and type-checked
+// against compiler export data, which works fully offline.
+//
+// Analyzers:
+//
+//   - mapiter:    order-dependent iteration over maps (appends, output
+//     writes, metric/trace feeds, first-match-wins returns)
+//   - seededrand: global math/rand state and time-derived seeds
+//   - metricname: mc_<pkg>_<name> metric naming discipline
+//   - spanend:    spans that are started but never ended, and redundant
+//     nil-guards around nil-safe span methods
+//   - floatcmp:   exact ==/!= on computed floats outside the approved
+//     helpers in internal/floats
+//
+// Findings can be suppressed at a call site with a
+// `//lint:allow <analyzer> <reason>` comment on the same line or the
+// line immediately above; suppressions are counted and reported by
+// `mclint -summary`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass and the invariant it
+// guards.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression comments.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+
+	// Run inspects a single type-checked package and reports
+	// diagnostics through pass.Report.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with the syntax trees and type
+// information of a single package, plus the Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The runner attaches the
+	// analyzer name and resolves suppression comments.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// All returns the full analyzer suite in deterministic (alphabetical)
+// order. The multichecker, tests, and CI all run exactly this set.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmpAnalyzer,
+		MapIterAnalyzer,
+		MetricNameAnalyzer,
+		SeededRandAnalyzer,
+		SpanEndAnalyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// --- shared type helpers -------------------------------------------------
+
+// telemetryPath is the canonical import path of the telemetry package.
+const telemetryPath = "matchcatcher/internal/telemetry"
+
+// isTelemetryPkg reports whether path names the telemetry package.
+// Besides the canonical in-module path it accepts any import path whose
+// final element is "telemetry", so analyzer fixtures and downstream
+// forks can stub the package without re-rooting the module.
+func isTelemetryPkg(path string) bool {
+	if path == telemetryPath {
+		return true
+	}
+	return path == "telemetry" || strings.HasSuffix(path, "/telemetry")
+}
+
+// floatsPath is the canonical import path of the approved float
+// comparison helpers.
+const floatsPath = "matchcatcher/internal/floats"
+
+// isFloatsPkg reports whether path names the approved float-comparison
+// helper package (same suffix rule as isTelemetryPkg, for fixtures).
+func isFloatsPkg(path string) bool {
+	if path == floatsPath {
+		return true
+	}
+	return path == "floats" || strings.HasSuffix(path, "/floats")
+}
+
+// pkgPathOf returns the import path of the package an object belongs
+// to, or "" for builtins and objects in the universe scope.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// calleeOf resolves the object a call expression invokes: a *types.Func
+// for plain and method calls, or nil for builtins, conversions, and
+// indirect calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Qualified identifier (pkg.Func).
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// recvNamed returns the named type of a method's receiver, looking
+// through pointers, or nil if f is not a method.
+func recvNamed(f *types.Func) *types.Named {
+	if f == nil {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isFloat reports whether t's underlying type (after unaliasing) is a
+// floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMap reports whether t (after unaliasing) is a map type.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isConstExpr reports whether e evaluates to a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// identObj resolves an identifier (possibly parenthesized) to its
+// object, or nil.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

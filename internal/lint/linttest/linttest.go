@@ -1,0 +1,235 @@
+// Package linttest is the golden-file test harness for the mclint
+// analyzer suite, shaped after golang.org/x/tools/go/analysis/
+// analysistest but standard-library only.
+//
+// A fixture is one directory holding one package of .go files.
+// Expected diagnostics are declared inline:
+//
+//	keys = append(keys, k) // want "append inside a map range"
+//
+// Each `// want "substr"` comment asserts that the analyzer under test
+// reports, on that line, a diagnostic whose message contains substr
+// (several quoted substrings assert several diagnostics). Lines
+// without a want comment assert the absence of diagnostics — so every
+// fixture doubles as its own clean counterexample, and the harness
+// fails on both missed and surplus findings.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"matchcatcher/internal/lint"
+)
+
+// wantRE matches one quoted expectation inside a want comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture package in dir, runs the analyzer over it, and
+// compares the resulting findings (after //lint:allow resolution)
+// against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) *lint.Result {
+	t.Helper()
+	res := runAnalyzers(t, []*lint.Analyzer{a}, dir)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	fset, files := parseFixture(t, dir)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := indexWant(text)
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx:], -1) {
+					s, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want string %q: %v", pos, m[1], err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], s)
+				}
+			}
+		}
+	}
+
+	for _, f := range res.Active() {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		ws := wants[k]
+		matched := -1
+		for i, w := range ws {
+			if contains(f.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+			continue
+		}
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	var leftover []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: missing diagnostic matching %q", k.file, k.line, w))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Error(l)
+	}
+	return res
+}
+
+// RunAll loads the fixture package in dir and runs the full analyzer
+// suite over it, returning the raw result without want matching — for
+// tests that assert on suppression accounting rather than positions.
+func RunAll(t *testing.T, dir string) *lint.Result {
+	t.Helper()
+	return runAnalyzers(t, lint.All(), dir)
+}
+
+func runAnalyzers(t *testing.T, analyzers []*lint.Analyzer, dir string) *lint.Result {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	res, err := lint.Run(analyzers, []*lint.Package{pkg})
+	if err != nil {
+		t.Fatalf("lint.Run(%s): %v", dir, err)
+	}
+	return res
+}
+
+// indexWant finds the start of a `want` clause inside a comment.
+func indexWant(text string) int {
+	re := regexp.MustCompile(`//\s*want\s+"`)
+	loc := re.FindStringIndex(text)
+	if loc == nil {
+		return -1
+	}
+	return loc[0]
+}
+
+func contains(s, sub string) bool {
+	return len(sub) == 0 || (len(s) >= len(sub) && index(s, sub) >= 0)
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseFixture parses every .go file in dir into one package's files.
+func parseFixture(t *testing.T, dir string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s holds no .go files", dir)
+	}
+	return fset, files
+}
+
+// loadFixture parses and type-checks the fixture package in dir. Its
+// imports (stdlib and matchcatcher/...) are resolved through compiler
+// export data obtained from the enclosing module, so fixtures may
+// import the real telemetry package even though testdata trees are
+// invisible to the go tool.
+func loadFixture(t *testing.T, dir string) *lint.Package {
+	t.Helper()
+	fset, files := parseFixture(t, dir)
+
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			imports = append(imports, p)
+		}
+	}
+	sort.Strings(imports)
+
+	root := moduleRoot(t)
+	exports, err := lint.ExportData(root, imports...)
+	if err != nil {
+		t.Fatalf("export data for fixture %s: %v", dir, err)
+	}
+
+	info := lint.NewInfo()
+	conf := types.Config{Importer: lint.ExportImporter(fset, exports)}
+	importPath := "fixture/" + filepath.Base(dir)
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &lint.Package{
+		ImportPath: importPath,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load expands patterns with the go tool (run in dir), parses the
+// matched packages, and type-checks them against compiler export data.
+// It works fully offline: `go list -export` compiles against the local
+// build cache and never touches the network for an up-to-date module.
+//
+// Test files are not loaded; the invariants mclint guards are
+// production-code invariants (tests routinely use unseeded randomness
+// and exact comparisons on purpose).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// cgo off: keeps file sets identical across dev machines and CI,
+	// and avoids needing a C toolchain for export data.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Name = t.Name
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one package from its file list.
+func checkPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		GoFiles:    goFiles,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewInfo allocates the full types.Info map set the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// through compiler export data files, as produced by
+// `go list -export` (the exports map is importPath -> export file).
+// Packages resolved once are cached, so diamond imports share one
+// *types.Package identity.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// ExportData runs `go list -export -deps` over the given import paths
+// (from dir) and returns the importPath -> export-file map. It is the
+// building block linttest uses to type-check fixture packages that live
+// outside any module (testdata trees).
+func ExportData(dir string, importPaths ...string) (map[string]string, error) {
+	if len(importPaths) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export,Error", "--",
+	}, importPaths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list -export %v: %v\n%s", importPaths, err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIterAnalyzer flags `for range` over a map whose body makes the
+// iteration order observable: appending to a slice that outlives the
+// loop (without a later sort of that slice), writing output, feeding a
+// telemetry metric or trace, or returning a value derived from the
+// loop variables (first-match-wins). Go randomizes map iteration order
+// on purpose, so each of these breaks the same-seed → same-output
+// guarantee; PR 1 fixed this exact bug class three times (top-k flush,
+// MedRank universe, forest training order).
+var MapIterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags map iteration whose order leaks into slices, output, metrics/traces, " +
+		"or first-match-wins returns; iterate a sorted slice of keys instead",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFuncMapRanges(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncMapRanges inspects one function body for map-range loops
+// with order-sensitive sinks.
+func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok || !isMap(tv.Type) {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	loopVars := rangeLoopVars(info, rng)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := appendTarget(info, n); obj != nil && obj.Pos() < rng.Pos() {
+				if !sortedAfter(info, funcBody, rng, obj) {
+					pass.Reportf(n.Pos(),
+						"map iteration order leaks into %q: append inside a map range without a later sort; collect and sort keys first", obj.Name())
+				}
+				return true
+			}
+			if isOutputCall(info, n) {
+				pass.Reportf(n.Pos(),
+					"output written inside a map range: emission order follows randomized map order; iterate sorted keys")
+				return true
+			}
+			if isTelemetryFeed(info, n) {
+				pass.Reportf(n.Pos(),
+					"telemetry fed inside a map range: metric/trace event order follows randomized map order; iterate sorted keys")
+				return true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if referencesAny(info, res, loopVars) {
+					pass.Reportf(n.Pos(),
+						"first-match-wins return inside a map range: which entry wins depends on randomized map order; iterate a sorted/ordered slice")
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeLoopVars returns the objects bound by the range statement's key
+// and value variables.
+func rangeLoopVars(info *types.Info, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				vars[obj] = true // `for k = range m` with pre-declared k
+			}
+		}
+	}
+	return vars
+}
+
+// appendTarget returns the variable being grown when call is
+// `append(v, ...)` whose result is assigned back to v, else nil.
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return identObj(info, call.Args[0])
+}
+
+// isOutputCall reports whether call writes user-visible output:
+// fmt.Print*/Fprint* or an io.Writer-style Write* method.
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeOf(info, call)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	if pkgPathOf(f) == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return true
+		}
+		return false
+	}
+	if recvNamed(f) != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}
+
+// telemetryRecorders are the telemetry method names that append to an
+// ordered stream (metric samples, trace events, provenance steps).
+// Pure accessors (Value, Name, clone, ...) are order-insensitive and
+// deliberately not listed.
+var telemetryRecorders = map[string]bool{
+	"Inc":        true,
+	"Add":        true,
+	"Set":        true,
+	"Observe":    true,
+	"Event":      true,
+	"SetAttr":    true,
+	"SetAttrInt": true,
+}
+
+// isTelemetryFeed reports whether call records a metric observation or
+// trace event: a recording method on a type declared in the telemetry
+// package, or the same-named telemetry package-level functions.
+func isTelemetryFeed(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeOf(info, call)
+	if f == nil || !telemetryRecorders[f.Name()] {
+		return false
+	}
+	if n := recvNamed(f); n != nil {
+		return isTelemetryPkg(pkgPathOf(n.Obj()))
+	}
+	return isTelemetryPkg(pkgPathOf(f))
+}
+
+// sortedAfter reports whether, lexically after the range loop inside
+// the same function, obj is passed to a sort call (sort.* or slices.*),
+// which launders the nondeterministic append order.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		f := calleeOf(info, call)
+		if f == nil {
+			return true
+		}
+		if p := pkgPathOf(f); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if referencesAny(info, arg, map[types.Object]bool{obj: true}) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// referencesAny reports whether expression e mentions any of the given
+// objects.
+func referencesAny(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

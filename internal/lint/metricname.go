@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+)
+
+// MetricNameAnalyzer enforces the repo's metric naming contract: every
+// series registered through telemetry.Registry.Counter / Gauge /
+// Histogram must be named with a compile-time constant string matching
+// ^mc_<pkg>_<name>$ where <pkg> is the name of the registering
+// package. The convention (established in PR 1, documented in
+// DESIGN.md "Observability") is what keeps /metrics output greppable
+// per subsystem and guarantees two packages never collide on a series.
+var MetricNameAnalyzer = &Analyzer{
+	Name: "metricname",
+	Doc: "metric names must be compile-time constants matching mc_<pkg>_<name> " +
+		"with <pkg> equal to the registering package's name",
+	Run: runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^mc_([a-z0-9]+)_([a-z0-9_]+)$`)
+
+// registrationMethods are the Registry methods (and same-named
+// package-level conveniences) that create or look up a series by name.
+var registrationMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func runMetricName(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			f := calleeOf(info, call)
+			if f == nil || !registrationMethods[f.Name()] {
+				return true
+			}
+			// Method on a telemetry-declared type (Registry), or a
+			// telemetry package-level function.
+			if n := recvNamed(f); n != nil {
+				if !isTelemetryPkg(pkgPathOf(n.Obj())) {
+					return true
+				}
+			} else if !isTelemetryPkg(pkgPathOf(f)) {
+				return true
+			}
+
+			arg := call.Args[0]
+			tv, ok := info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"metric name passed to %s must be a compile-time constant string so mclint can audit the mc_<pkg>_<name> convention", f.Name())
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			m := metricNameRE.FindStringSubmatch(name)
+			if m == nil {
+				pass.Reportf(arg.Pos(),
+					"metric name %q does not match ^mc_<pkg>_<name>$ (lowercase [a-z0-9_], e.g. mc_%s_items_total)", name, pass.Pkg.Name())
+				return true
+			}
+			if m[1] != pass.Pkg.Name() {
+				pass.Reportf(arg.Pos(),
+					"metric name %q claims package segment %q but is registered from package %q; use mc_%s_%s", name, m[1], pass.Pkg.Name(), pass.Pkg.Name(), m[2])
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one diagnostic resolved against the package's
+// suppression comments.
+type Finding struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	Reason     string // suppression reason, when Suppressed
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+	if f.Suppressed {
+		s += " (suppressed: " + f.Reason + ")"
+	}
+	return s
+}
+
+// A Result aggregates the findings of a run across packages.
+type Result struct {
+	Findings []Finding // deterministic order: file, line, column, analyzer
+}
+
+// Active returns the findings that were not suppressed.
+func (r *Result) Active() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the findings silenced by //lint:allow directives.
+func (r *Result) Suppressed() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CountByAnalyzer returns (active, suppressed) counts keyed by analyzer
+// name, including zero entries for every analyzer in the run set so
+// summaries are stable.
+func (r *Result) CountByAnalyzer(analyzers []*Analyzer) (active, suppressed map[string]int) {
+	active = make(map[string]int, len(analyzers))
+	suppressed = make(map[string]int, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = 0
+		suppressed[a.Name] = 0
+	}
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			suppressed[f.Analyzer]++
+		} else {
+			active[f.Analyzer]++
+		}
+	}
+	return active, suppressed
+}
+
+// Run executes every analyzer over every package and resolves
+// suppression comments. Analyzer errors (not diagnostics) abort the
+// run.
+//
+// Unused //lint:allow directives are reported as diagnostics of the
+// pseudo-analyzer "lint" so stale suppressions cannot accumulate.
+func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
+	res := &Result{}
+	for _, pkg := range pkgs {
+		var raw []struct {
+			analyzer string
+			diag     Diagnostic
+		}
+		report := func(name string) func(Diagnostic) {
+			return func(d Diagnostic) {
+				raw = append(raw, struct {
+					analyzer string
+					diag     Diagnostic
+				}{name, d})
+			}
+		}
+
+		allows := collectAllows(pkg.Fset, pkg.Syntax, report("lint"))
+
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    report(a.Name),
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+
+		for _, r := range raw {
+			pos := pkg.Fset.Position(r.diag.Pos)
+			f := Finding{Analyzer: r.analyzer, Pos: pos, Message: r.diag.Message}
+			for _, d := range allows {
+				if d.matches(r.analyzer, pos) {
+					f.Suppressed = true
+					f.Reason = d.Reason
+					d.used = true
+					break
+				}
+			}
+			res.Findings = append(res.Findings, f)
+		}
+
+		for _, d := range allows {
+			if !d.used {
+				pos := pkg.Fset.Position(d.Pos)
+				res.Findings = append(res.Findings, Finding{
+					Analyzer: "lint",
+					Pos:      pos,
+					Message:  fmt.Sprintf("unused //lint:allow %s directive (nothing to suppress)", d.Analyzer),
+				})
+			}
+		}
+	}
+
+	sort.SliceStable(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRandAnalyzer bans the global math/rand state and time-derived
+// seeds. MatchCatcher's contract is same seed → same candidate set →
+// same explain report, so every source of randomness must be an
+// explicitly seeded *rand.Rand threaded through parameters or options
+// (datagen.Params.Seed, Verifier seed, oracle seed). Top-level
+// rand.Intn/Shuffle/... draws from process-global state shared across
+// goroutines, and time.Now()-derived seeds differ on every run.
+var SeededRandAnalyzer = &Analyzer{
+	Name: "seededrand",
+	Doc: "bans math/rand top-level functions (global state) and time.Now()-derived seeds; " +
+		"thread an explicitly seeded *rand.Rand instead",
+	Run: runSeededRand,
+}
+
+// randConstructors are the math/rand(/v2) package-level functions that
+// are allowed: they build explicitly seeded generators rather than
+// drawing from global state.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runSeededRand(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeOf(info, call)
+			if f == nil {
+				return true
+			}
+			isMethod := recvNamed(f) != nil
+
+			// (1) Top-level math/rand functions draw from the global,
+			// unseedable-per-run source.
+			if !isMethod && isMathRand(pkgPathOf(f)) && !randConstructors[f.Name()] {
+				pass.Reportf(call.Pos(),
+					"rand.%s uses the process-global math/rand state, which breaks same-seed reproducibility; thread an explicitly seeded *rand.Rand", f.Name())
+				return true
+			}
+
+			// (2) Seeding from the wall clock makes every run unique.
+			// Nested constructor chains (rand.New(rand.NewSource(...)))
+			// are reported once, at the innermost seed consumer.
+			if seedSink(f) {
+				for _, arg := range call.Args {
+					if callsTimeNow(info, arg) {
+						pass.Reportf(arg.Pos(),
+							"seed derived from time.Now() differs on every run; use a fixed or caller-provided seed")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seedSink reports whether f consumes a seed: math/rand constructors
+// and the (*rand.Rand).Seed / rand.Seed setters.
+func seedSink(f *types.Func) bool {
+	if n := recvNamed(f); n != nil {
+		return f.Name() == "Seed" && isMathRand(pkgPathOf(n.Obj()))
+	}
+	if !isMathRand(pkgPathOf(f)) {
+		return false
+	}
+	return randConstructors[f.Name()] || f.Name() == "Seed"
+}
+
+// callsTimeNow reports whether e lexically contains a call to time.Now,
+// without descending into nested seed-sink calls (those are reported at
+// their own call site).
+func callsTimeNow(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeOf(info, call)
+		if f == nil {
+			return true
+		}
+		if f.Name() == "Now" && pkgPathOf(f) == "time" {
+			found = true
+			return false
+		}
+		if seedSink(f) {
+			return false // inner constructor owns its own diagnostic
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The comment suppresses diagnostics from <analyzer> (or from every
+// analyzer, when <analyzer> is "all") reported on the comment's own
+// line or on the line immediately below it — so it works both as a
+// trailing comment on the offending line and as a standalone comment
+// directly above it. A reason is mandatory: a suppression without a
+// justification is itself reported as a diagnostic, as is one naming
+// an unknown analyzer. Suppressed findings are not dropped silently;
+// they are counted and listed by `mclint -summary`.
+const allowPrefix = "//lint:allow"
+
+// An allowDirective is one parsed suppression comment.
+type allowDirective struct {
+	Analyzer string // analyzer name, or "all"
+	Reason   string
+	Pos      token.Pos
+	File     string
+	Line     int // line the comment starts on
+	EndLine  int // last line of the comment's extent
+	used     bool
+}
+
+// collectAllows parses every //lint:allow directive in the package.
+// Malformed directives (missing analyzer, unknown analyzer, missing
+// reason) are reported through report.
+func collectAllows(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(Diagnostic{Pos: c.Pos(), Message: "malformed //lint:allow: missing analyzer name"})
+					continue
+				}
+				name := fields[0]
+				if name != "all" && ByName(name) == nil {
+					report(Diagnostic{Pos: c.Pos(), Message: "//lint:allow names unknown analyzer " + strconv.Quote(name)})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					report(Diagnostic{Pos: c.Pos(), Message: "//lint:allow " + name + " is missing a reason"})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				end := fset.Position(c.End())
+				out = append(out, &allowDirective{
+					Analyzer: name,
+					Reason:   reason,
+					Pos:      c.Pos(),
+					File:     pos.Filename,
+					Line:     pos.Line,
+					EndLine:  end.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive suppresses a diagnostic from
+// analyzer at position p: same file, and either the comment's own
+// line(s) or the line immediately below its extent.
+func (d *allowDirective) matches(analyzer string, p token.Position) bool {
+	if d.Analyzer != "all" && d.Analyzer != analyzer {
+		return false
+	}
+	if p.Filename != d.File {
+		return false
+	}
+	return (p.Line >= d.Line && p.Line <= d.EndLine) || p.Line == d.EndLine+1
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseAllows runs collectAllows over one source string, returning the
+// parsed directives and the malformed-directive diagnostics.
+func parseAllows(t *testing.T, src string) ([]*allowDirective, []string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var msgs []string
+	allows := collectAllows(fset, []*ast.File{f}, func(d Diagnostic) {
+		msgs = append(msgs, d.Message)
+	})
+	return allows, msgs
+}
+
+func TestCollectAllowsParsesDirective(t *testing.T) {
+	src := `package p
+
+func f(a, b float64) bool {
+	return a == b //lint:allow floatcmp documented exact tie
+}
+`
+	allows, msgs := parseAllows(t, src)
+	if len(msgs) != 0 {
+		t.Fatalf("unexpected malformed-directive reports: %v", msgs)
+	}
+	if len(allows) != 1 {
+		t.Fatalf("directives = %d, want 1", len(allows))
+	}
+	d := allows[0]
+	if d.Analyzer != "floatcmp" || d.Reason != "documented exact tie" {
+		t.Errorf("directive = %+v, want analyzer floatcmp, reason %q", d, "documented exact tie")
+	}
+	if d.Line != 4 || d.EndLine != 4 {
+		t.Errorf("directive lines = %d..%d, want 4..4", d.Line, d.EndLine)
+	}
+}
+
+func TestCollectAllowsMalformed(t *testing.T) {
+	src := `package p
+
+//lint:allow
+var a int
+
+//lint:allow nosuchanalyzer some reason
+var b int
+
+//lint:allow floatcmp
+var c int
+
+//lint:allowed floatcmp not ours at all
+var d int
+`
+	allows, msgs := parseAllows(t, src)
+	if len(allows) != 0 {
+		t.Fatalf("malformed directives must not parse; got %+v", allows)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("malformed reports = %d, want 3: %v", len(msgs), msgs)
+	}
+	for i, want := range []string{
+		"missing analyzer name",
+		`unknown analyzer "nosuchanalyzer"`,
+		"missing a reason",
+	} {
+		if !strings.Contains(msgs[i], want) {
+			t.Errorf("msgs[%d] = %q, want substring %q", i, msgs[i], want)
+		}
+	}
+}
+
+func TestAllowDirectiveMatching(t *testing.T) {
+	d := &allowDirective{Analyzer: "floatcmp", File: "x.go", Line: 10, EndLine: 10}
+	pos := func(file string, line int) token.Position { return token.Position{Filename: file, Line: line} }
+
+	if !d.matches("floatcmp", pos("x.go", 10)) {
+		t.Error("same line must match")
+	}
+	if !d.matches("floatcmp", pos("x.go", 11)) {
+		t.Error("line directly below must match (standalone comment form)")
+	}
+	if d.matches("floatcmp", pos("x.go", 12)) {
+		t.Error("two lines below must not match")
+	}
+	if d.matches("floatcmp", pos("x.go", 9)) {
+		t.Error("line above must not match")
+	}
+	if d.matches("floatcmp", pos("y.go", 10)) {
+		t.Error("other file must not match")
+	}
+	if d.matches("mapiter", pos("x.go", 10)) {
+		t.Error("other analyzer must not match")
+	}
+
+	all := &allowDirective{Analyzer: "all", File: "x.go", Line: 10, EndLine: 10}
+	if !all.matches("mapiter", pos("x.go", 10)) || !all.matches("spanend", pos("x.go", 11)) {
+		t.Error(`"all" directive must match every analyzer in range`)
+	}
+}

@@ -1,0 +1,42 @@
+// Package floatcmp is the golden fixture for the floatcmp analyzer:
+// exact equality between two computed floats (bad) next to constant
+// sentinels, integer comparisons, and ordering operators (clean).
+package floatcmp
+
+const eps = 1e-9
+
+// exactEqual compares two computed scores exactly.
+func exactEqual(a, b float64) bool {
+	return a == b // want "exact == between computed floats"
+}
+
+// exactNotEqual is the negated form.
+func exactNotEqual(a, b float64) bool {
+	return a != b // want "exact != between computed floats"
+}
+
+// computed operands on both sides are still computed.
+func exactDerived(a, b float64) bool {
+	return a*0.5 == b/2 // want "exact == between computed floats"
+}
+
+// sentinel comparisons against compile-time constants are exact by
+// construction and allowed.
+func sentinel(a float64) bool {
+	return a == 0 || a != 1 || a == eps
+}
+
+// ints compare exactly; only floats are in scope.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// ordering operators are not equality; out of scope.
+func ordered(a, b float64) bool {
+	return a < b || a >= b
+}
+
+// float32 is covered too.
+func narrow(a, b float32) bool {
+	return a == b // want "exact == between computed floats"
+}

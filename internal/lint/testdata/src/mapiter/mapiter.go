@@ -1,0 +1,81 @@
+// Package mapiter is the golden fixture for the mapiter analyzer: map
+// ranges whose body leaks the randomized iteration order (bad) next to
+// the sorted-slice and order-insensitive idioms the analyzer must
+// leave alone (clean).
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+
+	"matchcatcher/internal/telemetry"
+)
+
+// appendNoSort grows an output slice inside a map range and never
+// sorts it: the caller observes randomized order.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside a map range"
+	}
+	return keys
+}
+
+// appendThenSort is the approved idiom: the later sort launders the
+// nondeterministic append order.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printInRange writes user-visible output in randomized order.
+func printInRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output written inside a map range"
+	}
+}
+
+// feedInRange records metric samples in randomized order.
+func feedInRange(m map[string]int, c *telemetry.Counter) {
+	for range m {
+		c.Inc() // want "telemetry fed inside a map range"
+	}
+}
+
+// firstMatch returns whichever matching key the randomized iteration
+// reaches first.
+func firstMatch(m map[string]int, want int) string {
+	for k, v := range m {
+		if v == want {
+			return k // want "first-match-wins return"
+		}
+	}
+	return ""
+}
+
+// membership returns a constant, so the randomized order is
+// unobservable; the analyzer must stay quiet.
+func membership(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// localScratch appends to a slice declared inside the loop body; it
+// cannot outlive one iteration, so order never leaks.
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}

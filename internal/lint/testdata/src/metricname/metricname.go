@@ -1,0 +1,22 @@
+// Package mfix is the golden fixture for the metricname analyzer. Its
+// package name is deliberately different from its directory: the
+// analyzer must key the mc_<pkg>_<name> check on the package name
+// ("mfix"), not on any path component.
+package mfix
+
+import "matchcatcher/internal/telemetry"
+
+// prefix participates in constant folding: concatenations of declared
+// constants are still compile-time constants and must be accepted.
+const prefix = "mc_mfix_"
+
+func register(r *telemetry.Registry, dyn string) {
+	r.Counter("mc_mfix_items_total")
+	r.Gauge(prefix + "queue_depth")
+	r.Histogram("mc_mfix_latency_seconds", telemetry.L("stage", "join"))
+
+	r.Histogram("mc_other_latency_seconds") // want "claims package segment \"other\""
+	r.Counter("MCItemsTotal")               // want "does not match"
+	r.Gauge("mc_mfix_BadCase")              // want "does not match"
+	r.Counter(dyn)                          // want "compile-time constant"
+}

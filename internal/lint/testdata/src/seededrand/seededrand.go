@@ -1,0 +1,34 @@
+// Package seededrand is the golden fixture for the seededrand
+// analyzer: global math/rand draws and wall-clock seeds (bad) next to
+// the explicitly seeded generators the repo requires (clean).
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw pulls from the process-global math/rand state.
+func globalDraw() int {
+	return rand.Intn(10) // want "process-global math/rand state"
+}
+
+// globalShuffle mutates through the same global state.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global math/rand state"
+}
+
+// clockSeed differs on every run; the nested constructor chain must be
+// reported exactly once, at the innermost seed consumer.
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "differs on every run"
+}
+
+// seeded is the approved idiom: an explicit caller-provided seed
+// threaded into a local generator, whose methods are all fine.
+func seeded(seed int64, xs []int) *rand.Rand {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	_ = r.Intn(10)
+	return r
+}

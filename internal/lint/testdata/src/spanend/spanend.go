@@ -1,0 +1,88 @@
+// Package spanend is the golden fixture for the spanend analyzer:
+// spans that never reach End() and redundant nil guards (bad) next to
+// the defer-End, child-span, and escaping-span idioms (clean).
+package spanend
+
+import "matchcatcher/internal/telemetry"
+
+// neverEnded starts a span, records on it, and leaks it.
+func neverEnded(tr *telemetry.Tracer) {
+	s := tr.Start("load") // want "never ended in this function"
+	s.Event("begin")
+}
+
+// discarded drops the span on the floor; nothing can ever end it.
+func discarded(tr *telemetry.Tracer) {
+	tr.Start("load") // want "is discarded"
+}
+
+// blanked is the explicit version of discarding.
+func blanked(tr *telemetry.Tracer) {
+	_ = tr.Start("load") // want "assigned to _"
+}
+
+// deferred is the approved idiom.
+func deferred(tr *telemetry.Tracer) {
+	s := tr.Start("load")
+	defer s.End()
+	s.Event("begin")
+}
+
+// child spans follow the same discipline; an explicit End also counts.
+func child(tr *telemetry.Tracer) {
+	s := tr.Start("load")
+	defer s.End()
+	c := s.Child("parse")
+	c.SetAttr("k", "v")
+	c.End()
+}
+
+// escapes hands the span to another owner; its lifetime is managed
+// elsewhere, so the analyzer must stay quiet.
+func escapes(tr *telemetry.Tracer, sink func(*telemetry.TraceSpan)) {
+	s := tr.Start("load")
+	sink(s)
+}
+
+// stored escapes through a field write, also managed elsewhere.
+type holder struct{ span *telemetry.TraceSpan }
+
+func (h *holder) stored(tr *telemetry.Tracer) {
+	s := tr.Start("load")
+	h.span = s
+}
+
+// redundantGuard re-implements the nil check every telemetry method
+// already performs.
+func redundantGuard(s *telemetry.TraceSpan) {
+	if s != nil { // want "redundant nil guard"
+		s.End()
+	}
+}
+
+// resetGuard is the guard-plus-reset form from PR 2's Finish().
+func (h *holder) resetGuard() {
+	if h.span != nil { // want "redundant nil guard"
+		h.span.End()
+		h.span = nil
+	}
+}
+
+// meaningfulGuard does more than call nil-safe methods: the branch
+// changes control flow, so the guard is load-bearing.
+func meaningfulGuard(s *telemetry.TraceSpan) bool {
+	if s != nil {
+		s.End()
+		return true
+	}
+	return false
+}
+
+// tracerGuard guards a *Tracer, which is NOT in the nil-safe method
+// set (Start on a nil Tracer returns nil but the guard also protects
+// non-span uses); the analyzer must stay quiet.
+func tracerGuard(tr *telemetry.Tracer) {
+	if tr != nil {
+		tr.SetMaxSpans(16)
+	}
+}

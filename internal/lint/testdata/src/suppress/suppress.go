@@ -1,0 +1,26 @@
+// Package suppress is the fixture for //lint:allow accounting: two
+// real findings silenced with reasons (one trailing, one standalone
+// above) plus one deliberately stale directive, which must surface as
+// an active "lint" finding rather than vanish.
+package suppress
+
+// firstWitness suppresses on the offending line itself.
+func firstWitness(m map[string]int) string {
+	for k := range m {
+		return k //lint:allow mapiter any witness key is acceptable for this membership probe
+	}
+	return ""
+}
+
+// exactTie suppresses from the line directly above.
+func exactTie(a, b float64) bool {
+	//lint:allow floatcmp deliberate exact tie; fixture exercises the standalone-comment form
+	return a == b
+}
+
+// stale carries a directive with nothing to suppress: ints compare
+// exactly, so floatcmp never fires and the directive must be reported
+// as unused.
+func stale(a, b int) bool {
+	return a == b //lint:allow floatcmp deliberately stale directive for the accounting test
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/floats"
 	"matchcatcher/internal/ssjoin"
 )
 
@@ -19,7 +20,9 @@ func competitionRanks(l ssjoin.TopKList) map[int64]int {
 	out := make(map[int64]int, len(l.Pairs))
 	rank := 0
 	for i, p := range l.Pairs {
-		if i == 0 || p.Score != l.Pairs[i-1].Score {
+		// Exact tie on purpose: equal-scored neighbors in one sorted
+		// list share a competition rank.
+		if i == 0 || !floats.Equal(p.Score, l.Pairs[i-1].Score) {
 			rank = i + 1
 		}
 		out[pairID(p.A, p.B)] = rank
@@ -102,7 +105,7 @@ func aggregate(lists []ssjoin.TopKList, weights []float64, rng *rand.Rand) []blo
 		items[i].tie = perm[i]
 	}
 	sort.Slice(items, func(x, y int) bool {
-		if items[x].global != items[y].global {
+		if !floats.Equal(items[x].global, items[y].global) {
 			return items[x].global < items[y].global
 		}
 		return items[x].tie < items[y].tie

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/floats"
 	"matchcatcher/internal/rforest"
 	"matchcatcher/internal/ssjoin"
 	"matchcatcher/internal/telemetry"
@@ -299,7 +300,7 @@ func (v *Verifier) nextHybrid() []int {
 	sort.Slice(unlabeled, func(x, y int) bool {
 		dx := math.Abs(unlabeled[x].conf - 0.5)
 		dy := math.Abs(unlabeled[y].conf - 0.5)
-		if dx != dy {
+		if !floats.Equal(dx, dy) {
 			return dx < dy
 		}
 		return unlabeled[x].idx < unlabeled[y].idx
@@ -341,7 +342,7 @@ func (v *Verifier) nextConfident(n int, taken map[int]bool) []int {
 	psp.End()
 	v.vm.predictSeconds.Observe(time.Since(predStart).Seconds())
 	sort.Slice(unlabeled, func(x, y int) bool {
-		if unlabeled[x].conf != unlabeled[y].conf {
+		if !floats.Equal(unlabeled[x].conf, unlabeled[y].conf) {
 			return unlabeled[x].conf > unlabeled[y].conf
 		}
 		return unlabeled[x].idx < unlabeled[y].idx

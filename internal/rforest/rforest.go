@@ -11,6 +11,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"matchcatcher/internal/floats"
 )
 
 // Example is one labeled training instance.
@@ -128,7 +130,9 @@ func grow(examples []Example, idx []int, opt Options, rng *rand.Rand, depth int)
 		}
 		sort.Float64s(vals)
 		for v := 1; v < len(vals); v++ {
-			if vals[v] == vals[v-1] {
+			// Exact on purpose: adjacent equal values in the sorted
+			// column produce no usable split point between them.
+			if floats.Equal(vals[v], vals[v-1]) {
 				continue
 			}
 			thresh := (vals[v] + vals[v-1]) / 2

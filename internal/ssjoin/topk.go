@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"matchcatcher/internal/config"
+	"matchcatcher/internal/floats"
 )
 
 // ScoredPair is a candidate tuple pair with its similarity score under one
@@ -34,7 +35,9 @@ func newTopkHeap(k int) *topkHeap { return &topkHeap{k: k} }
 
 func (h *topkHeap) Len() int { return len(h.items) }
 func (h *topkHeap) Less(i, j int) bool {
-	if h.items[i].Score != h.items[j].Score {
+	// floats.Equal: the exact-tie arm of PR 1's total order over
+	// (score, idA, idB); see DESIGN.md "Static Analysis & Invariants".
+	if !floats.Equal(h.items[i].Score, h.items[j].Score) {
 		return h.items[i].Score < h.items[j].Score
 	}
 	// Deterministic tie order: larger pair ids are "worse", so equal-score
@@ -82,7 +85,7 @@ func (h *topkHeap) offer(p ScoredPair) {
 	if p.Score < r.Score {
 		return
 	}
-	if p.Score == r.Score && (p.A > r.A || (p.A == r.A && p.B >= r.B)) {
+	if floats.Equal(p.Score, r.Score) && (p.A > r.A || (p.A == r.A && p.B >= r.B)) {
 		return
 	}
 	h.items[0] = p
@@ -94,7 +97,7 @@ func (h *topkHeap) list(m config.Mask) TopKList {
 	out := make([]ScoredPair, len(h.items))
 	copy(out, h.items)
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
+		if !floats.Equal(out[i].Score, out[j].Score) {
 			return out[i].Score > out[j].Score
 		}
 		if out[i].A != out[j].A {
@@ -119,7 +122,7 @@ type event struct {
 
 func (h *eventHeap) Len() int { return len(h.items) }
 func (h *eventHeap) Less(i, j int) bool {
-	if h.items[i].cap != h.items[j].cap {
+	if !floats.Equal(h.items[i].cap, h.items[j].cap) {
 		return h.items[i].cap > h.items[j].cap
 	}
 	if h.items[i].side != h.items[j].side {

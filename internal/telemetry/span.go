@@ -27,6 +27,7 @@ func (r *Registry) Start(name string, labels ...Label) Span {
 	ls := make([]Label, 0, len(labels)+1)
 	ls = append(ls, Label{Key: "stage", Value: name})
 	ls = append(ls, labels...)
+	//lint:allow metricname mc_stage_seconds is the cross-package stage rollup; every package's spans share one series keyed by the stage label
 	return Span{h: r.Histogram(StageHistogram, ls...), start: time.Now()}
 }
 

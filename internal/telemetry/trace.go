@@ -198,6 +198,7 @@ func (s *TraceSpan) End() time.Duration {
 	s.mu.Unlock()
 	d := now.Sub(s.start)
 	if s.tr != nil && s.tr.reg != nil {
+		//lint:allow metricname mc_stage_seconds is the cross-package stage rollup shared by trace spans and stage timers
 		s.tr.reg.Histogram(StageHistogram, Label{Key: "stage", Value: s.name}).Observe(d.Seconds())
 	}
 	return d
