@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet mclint lint vuln fuzz-smoke
+.PHONY: all build test race vet mclint lint vuln fuzz-smoke perf-baseline perf-check
 
 all: build test
 
@@ -45,3 +45,30 @@ vuln:
 fuzz-smoke:
 	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzSoundex -fuzztime 10s
+
+# Performance regression observability (DESIGN.md "Performance
+# Regression Observability"). perf-baseline reruns the pinned perf-gate
+# workload PERF_COUNT times on this machine and regenerates the
+# committed baseline mechanically with `mcperf report` — never edit
+# BENCH_perf_gate.json by hand. perf-check repeats the workload and
+# compares against the committed baseline; it exits non-zero on a
+# statistically significant regression (recall always blocks; latency
+# blocks only when the baseline came from a comparable machine).
+PERF_LEDGER  ?= perf-ledger.jsonl
+PERF_COUNT   ?= 5
+PERF_SCALE   ?= 0.1
+PERF_SEED    ?= 1
+
+perf-baseline:
+	rm -f $(PERF_LEDGER)
+	$(GO) run ./cmd/mcbench -exp perf-gate -scale $(PERF_SCALE) -seed $(PERF_SEED) \
+		-count $(PERF_COUNT) -ledger $(PERF_LEDGER)
+	$(GO) run ./cmd/mcperf report -ledger $(PERF_LEDGER) -format json \
+		-desc "pinned perf-gate workload: M2 joins (HASH1/HASH2/SIM1, k=1000) + M2/HASH1 debug session at scale $(PERF_SCALE), seed $(PERF_SEED)" \
+		-out BENCH_perf_gate.json
+
+perf-check:
+	rm -f $(PERF_LEDGER)
+	$(GO) run ./cmd/mcbench -exp perf-gate -scale $(PERF_SCALE) -seed $(PERF_SEED) \
+		-count 4 -ledger $(PERF_LEDGER)
+	$(GO) run ./cmd/mcperf check -baseline BENCH_perf_gate.json -ledger $(PERF_LEDGER)

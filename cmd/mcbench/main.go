@@ -6,7 +6,14 @@
 //
 // Experiments: table1, table3, table4, hashdebug, learned, fig9,
 // ablate-config, ablate-long, ablate-joint, ablate-verifier, sensitivity,
-// all. -datasets filters table3 to a comma-separated dataset list.
+// perf-gate, all. -datasets filters table3 to a comma-separated dataset
+// list.
+//
+// Regression observability: -ledger appends one runlog record per run
+// (metrics + env fingerprint + telemetry snapshot) to a JSONL ledger,
+// and -count N repeats the experiment over fresh environments so mcperf
+// gets N samples per metric (a per-metric median table is printed for
+// N > 1). Under -json, each repetition emits its own JSON document.
 //
 // With -json the experiment's rows are emitted to stdout as one JSON
 // document {"exp", "scale", "rows", "telemetry"} — the telemetry field is
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"matchcatcher/internal/experiments"
+	"matchcatcher/internal/runlog"
 	"matchcatcher/internal/telemetry"
 )
 
@@ -43,8 +51,10 @@ type cliOptions struct {
 	Scale       float64
 	K           int
 	Seed        int64
+	Count       int
 	Datasets    string
 	JSON        bool
+	Ledger      string
 	MetricsAddr string
 	ProfileDir  string
 	TraceOut    string
@@ -58,8 +68,10 @@ func parseFlags(args []string) (cliOptions, error) {
 	fs.Float64Var(&o.Scale, "scale", 1, "dataset scale factor")
 	fs.IntVar(&o.K, "k", 1000, "top-k per config")
 	fs.Int64Var(&o.Seed, "seed", 1, "random seed")
+	fs.IntVar(&o.Count, "count", 1, "repetitions over fresh environments (variance mode; N samples per metric)")
 	fs.StringVar(&o.Datasets, "datasets", "", "comma-separated dataset filter (table3, fig9)")
 	fs.BoolVar(&o.JSON, "json", false, "emit JSON (rows + telemetry snapshot) instead of text tables")
+	fs.StringVar(&o.Ledger, "ledger", "", "append one runlog record per repetition to this JSONL ledger (mcperf input)")
 	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics (plus expvar and pprof) on this address, e.g. :8080")
 	fs.StringVar(&o.ProfileDir, "profile-dir", "", "write pprof CPU and heap profiles of the run into this directory")
 	fs.StringVar(&o.TraceOut, "trace-out", "", "write the run's span trees as Chrome trace_event JSON to this path")
@@ -68,6 +80,9 @@ func parseFlags(args []string) (cliOptions, error) {
 	}
 	if fs.NArg() > 0 {
 		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.Count < 1 {
+		return o, fmt.Errorf("-count must be >= 1, got %d", o.Count)
 	}
 	return o, nil
 }
@@ -78,6 +93,9 @@ type bench struct {
 	opts   cliOptions
 	stdout io.Writer
 	stderr io.Writer
+	// collected, when non-nil, accumulates the current repetition's
+	// ledger metrics (filled by emit via collect).
+	collected map[string]float64
 }
 
 // progress prints human chatter: stdout normally, stderr under -json so
@@ -101,6 +119,7 @@ type jsonReport struct {
 // emit prints rows as JSON (with the run's telemetry snapshot) when
 // -json is set, else the formatted text table.
 func (c *bench) emit(rows interface{}, text string) error {
+	c.collect(rows)
 	if c.opts.JSON {
 		enc := json.NewEncoder(c.stdout)
 		enc.SetIndent("", "  ")
@@ -197,7 +216,44 @@ func main() {
 	}
 
 	start := time.Now()
-	runErr := c.run(env, opts.Exp, opts.Datasets, opt)
+	var runErr error
+	var recs []runlog.Record
+	for rep := 1; rep <= opts.Count; rep++ {
+		if opts.Count > 1 {
+			c.progress("\n===== rep %d/%d =====\n", rep, opts.Count)
+			// Fresh caches each repetition so later reps re-measure the
+			// full pipeline instead of hitting the dataset/blocker caches.
+			env = experiments.NewEnv(opts.Scale)
+		}
+		c.collected = map[string]float64{}
+		repStart := time.Now()
+		runErr = c.run(env, opts.Exp, opts.Datasets, opt)
+		wall := time.Since(repStart).Seconds()
+		if runErr != nil {
+			break
+		}
+		if opts.Ledger == "" && opts.Count == 1 {
+			continue
+		}
+		c.collected[opts.Exp+":wall_seconds"] = wall
+		rec := runlog.New("mcbench", opts.Exp, opts.Seed, map[string]any{
+			"exp": opts.Exp, "scale": opts.Scale, "k": opts.K, "datasets": opts.Datasets,
+		})
+		rec.Metrics = c.collected
+		rec.AttachTelemetry(telemetry.Default())
+		recs = append(recs, rec)
+		// The append happens after the repetition's timings are taken, so
+		// ledger I/O never lands inside a measured section.
+		if opts.Ledger != "" {
+			if err := runlog.Append(opts.Ledger, rec); err != nil {
+				logg.Error("ledger append failed", "path", opts.Ledger, "err", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if runErr == nil && opts.Count > 1 {
+		c.progress("\n===== medians over %d reps =====\n%s", opts.Count, medianTable(recs))
+	}
 	if stopProfiles != nil {
 		if err := stopProfiles(); err != nil {
 			logg.Error("profile capture failed", "err", err)
@@ -231,6 +287,19 @@ func (c *bench) run(env *experiments.Env, exp, datasets string, opt experiments.
 			}
 		}
 		return nil
+
+	case "perf-gate":
+		// The pinned CI regression workload: three M2 joins plus one
+		// M2/HASH1 debug session. Frozen — changing it invalidates the
+		// committed BENCH_perf_gate.json baseline (make perf-baseline).
+		res, err := env.RunPerfGate(opt)
+		if err != nil {
+			return err
+		}
+		for _, p := range res.Fig9 {
+			c.progress("join %s/%s k=%d %.2fs\n", p.Dataset, p.Blocker, p.K, p.Seconds)
+		}
+		return c.emit(res, experiments.FormatPerfGate(res))
 
 	case "table1":
 		rows, err := env.RunTable1([]string{"A-G", "W-A", "A-D", "F-Z", "M1", "M2", "Papers"})

@@ -7,8 +7,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"matchcatcher/internal/experiments"
+	"matchcatcher/internal/runlog"
 	"matchcatcher/internal/telemetry"
 )
 
@@ -40,6 +42,70 @@ func TestParseFlagsErrors(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"stray"}); err == nil {
 		t.Error("want error for stray positional argument")
+	}
+	if _, err := parseFlags([]string{"-count", "0"}); err == nil {
+		t.Error("want error for -count 0")
+	}
+}
+
+func TestParseFlagsLedgerMode(t *testing.T) {
+	o, err := parseFlags([]string{"-exp", "perf-gate", "-count", "5", "-ledger", "runs.jsonl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Exp != "perf-gate" || o.Count != 5 || o.Ledger != "runs.jsonl" {
+		t.Errorf("parsed = %+v", o)
+	}
+	if o, _ := parseFlags(nil); o.Count != 1 || o.Ledger != "" {
+		t.Errorf("defaults = %+v, want count=1 no ledger", o)
+	}
+}
+
+// TestMetricsOf checks the ledger key shapes for every perf-sensitive
+// row type (the perfstat direction inference hangs off these suffixes).
+func TestMetricsOf(t *testing.T) {
+	fig9 := []experiments.Fig9Point{{Dataset: "M2", Blocker: "HASH1", K: 1000, Pct: 40, Seconds: 1.5}}
+	m := metricsOf(fig9)
+	if m["fig9/M2/HASH1/k1000/pct40:join_seconds"] != 1.5 {
+		t.Errorf("fig9 metrics = %v", m)
+	}
+
+	row := experiments.Table3Row{Dataset: "M2", Blocker: "HASH1", F: 42, ME: 50, I: 3, TopKTime: 2 * time.Second}
+	m = metricsOf([]experiments.Table3Row{row})
+	if m["table3/M2/HASH1:recall_f"] != 42 || m["table3/M2/HASH1:topk_seconds"] != 2 ||
+		m["table3/M2/HASH1:recall_me"] != 50 || m["table3/M2/HASH1:iterations"] != 3 {
+		t.Errorf("table3 metrics = %v", m)
+	}
+
+	m = metricsOf(experiments.PerfGateResult{Fig9: fig9, Recall: row})
+	if m["perfgate/M2/HASH1/k1000:join_seconds"] != 1.5 || m["perfgate/M2/HASH1:recall_f"] != 42 {
+		t.Errorf("perf-gate metrics = %v", m)
+	}
+
+	// Non-perf rows contribute nothing (the wall clock still lands via
+	// the per-rep record).
+	if m := metricsOf(struct{}{}); len(m) != 0 {
+		t.Errorf("unknown rows produced metrics: %v", m)
+	}
+}
+
+// TestCollectAndMedianTable exercises the variance-mode summary path.
+func TestCollectAndMedianTable(t *testing.T) {
+	c := &bench{opts: cliOptions{}, stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}}
+	c.collect(nil) // nil collected map: no-op, no panic
+
+	var recs []runlog.Record
+	for _, s := range []float64{1.0, 1.2, 1.1} {
+		c.collected = map[string]float64{}
+		c.collect([]experiments.Fig9Point{{Dataset: "M2", Blocker: "HASH1", K: 1000, Pct: 100, Seconds: s}})
+		rec := runlog.New("mcbench", "fig9", 1, map[string]any{"scale": 0.1})
+		rec.Metrics = c.collected
+		recs = append(recs, rec)
+	}
+	table := medianTable(recs)
+	if !strings.Contains(table, "fig9/M2/HASH1/k1000/pct100:join_seconds") ||
+		!strings.Contains(table, "1.1") {
+		t.Errorf("median table:\n%s", table)
 	}
 }
 

@@ -21,6 +21,12 @@
 // chrome://tracing or https://ui.perfetto.dev); -trace-tree dumps the
 // span tree to stderr. Progress goes to stderr as structured logs
 // correlated with the trace id; -v raises verbosity to debug.
+//
+// -ledger appends the finished session to a runlog JSONL ledger: the
+// cumulative recall-vs-iterations series (fractions of M_D when -gold
+// is given, raw match counts otherwise), iteration/match/wall-time
+// scalars, and the full telemetry snapshot — mcperf's input for
+// tracking debugging-session quality across commits.
 package main
 
 import (
@@ -33,10 +39,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/core"
+	"matchcatcher/internal/metrics"
 	"matchcatcher/internal/oracle"
+	"matchcatcher/internal/runlog"
 	"matchcatcher/internal/table"
 	"matchcatcher/internal/telemetry"
 )
@@ -50,6 +59,7 @@ func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 type cliOpts struct {
 	aPath, bPath, goldPath string
 	reportPath             string
+	ledgerPath             string
 	traceOut               string
 	traceTree              bool
 	explain                [][2]int
@@ -69,6 +79,7 @@ func main() {
 	flag.IntVar(&o.k, "k", 1000, "top-k per config")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.reportPath, "report", "", "write a JSON session report to this path")
+	flag.StringVar(&o.ledgerPath, "ledger", "", "append the session's metrics (recall-vs-iteration series, wall time) to this runlog JSONL ledger")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the session trace as Chrome trace_event JSON to this path")
 	flag.BoolVar(&o.traceTree, "trace-tree", false, "dump the session's span tree to stderr when done")
 	flag.BoolVar(&o.explainGold, "explain-gold", false, "watch every gold pair (-gold) for provenance")
@@ -210,6 +221,14 @@ func run(o cliOpts) error {
 	}
 	o.log.Info("blocking done", "c_size", c.Len())
 
+	// M_D: how many gold matches the blocker killed — the denominator of
+	// the session's recall series (gold runs only).
+	md := 0
+	if gold != nil {
+		md = gold.Len() - metrics.Intersection(gold, c)
+	}
+
+	sessionStart := time.Now()
 	opt := core.Options{Trace: tracer, Logger: o.log, Provenance: prov}
 	opt.Join.K = o.k
 	opt.Verifier.N = o.n
@@ -226,6 +245,9 @@ func run(o cliOpts) error {
 		label = u.Label
 	}
 
+	// matchesByIter tracks the cumulative killed-off matches found after
+	// each verifier iteration — the paper's recall-vs-iterations curve.
+	var matchesByIter []float64
 	in := bufio.NewScanner(os.Stdin)
 	for !dbg.Done() {
 		pairs := dbg.Next()
@@ -261,8 +283,10 @@ func run(o cliOpts) error {
 		if err := dbg.Feedback(labels); err != nil {
 			return err
 		}
+		matchesByIter = append(matchesByIter, float64(len(dbg.Matches())))
 	}
 	dbg.Finish()
+	sessionWall := time.Since(sessionStart)
 
 	matches := dbg.Matches()
 	fmt.Printf("\nfound %d killed-off matches in %d iterations\n", len(matches), dbg.Iterations())
@@ -322,7 +346,42 @@ func run(o cliOpts) error {
 		}
 		o.log.Info("wrote session report", "path", o.reportPath)
 	}
+
+	if o.ledgerPath != "" {
+		rec := sessionRecord(o, q.Name(), matches, dbg.Iterations(), md, matchesByIter, sessionWall)
+		if err := runlog.Append(o.ledgerPath, rec); err != nil {
+			return err
+		}
+		o.log.Info("appended session to ledger", "path", o.ledgerPath, "iterations", dbg.Iterations())
+	}
 	return nil
+}
+
+// sessionRecord builds the runlog record of one debug session: scalar
+// outcome metrics plus the per-iteration cumulative recall series. With
+// gold, the series is the recall fraction found/M_D (the paper's
+// recall-vs-iterations curve); without, raw cumulative match counts.
+func sessionRecord(o cliOpts, blockerName string, matches []blocker.Pair, iterations, md int,
+	matchesByIter []float64, wall time.Duration) runlog.Record {
+	rec := runlog.New("mcdebug", "session", o.seed, map[string]any{
+		"a": o.aPath, "b": o.bPath, "blocker": blockerName, "n": o.n, "k": o.k,
+	})
+	rec.Metrics = map[string]float64{
+		"mcdebug:iterations":    float64(iterations),
+		"mcdebug:matches_found": float64(len(matches)),
+		"mcdebug:wall_seconds":  wall.Seconds(),
+	}
+	series := matchesByIter
+	if md > 0 {
+		rec.Metrics["mcdebug:recall_f"] = float64(len(matches)) / float64(md)
+		series = make([]float64, len(matchesByIter))
+		for i, m := range matchesByIter {
+			series[i] = m / float64(md)
+		}
+	}
+	rec.Series = map[string][]float64{"recall_by_iteration": series}
+	rec.AttachTelemetry(telemetry.Default())
+	return rec
 }
 
 func readGold(path string) (*blocker.PairSet, error) {

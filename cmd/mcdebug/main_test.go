@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"matchcatcher/internal/runlog"
 	"matchcatcher/internal/telemetry"
 )
 
@@ -96,15 +97,51 @@ func TestMetricsEndpointAfterDebugSession(t *testing.T) {
 
 	reportPath := filepath.Join(dir, "report.json")
 	tracePath := filepath.Join(dir, "trace.json")
+	ledgerPath := filepath.Join(dir, "runs.jsonl")
 	err = run(cliOpts{
 		aPath: aPath, bPath: bPath, goldPath: goldPath,
-		reportPath: reportPath, traceOut: tracePath,
+		reportPath: reportPath, traceOut: tracePath, ledgerPath: ledgerPath,
 		explain: [][2]int{{1, 2}}, explainGold: true,
 		n: 3, k: 100, seed: 1,
 		equals: []string{"City"},
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// The session appended one runlog record: a recall-vs-iterations
+	// series (fractions of M_D, so values in [0,1]), outcome scalars, and
+	// the telemetry snapshot with runtime gauges.
+	recs, err := runlog.ReadFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Tool != "mcdebug" || recs[0].Exp != "session" {
+		t.Fatalf("ledger records = %+v", recs)
+	}
+	rec := recs[0]
+	curve := rec.Series["recall_by_iteration"]
+	if len(curve) == 0 {
+		t.Fatal("ledger record lacks recall_by_iteration series")
+	}
+	for i, v := range curve {
+		if v < 0 || v > 1 {
+			t.Errorf("curve[%d] = %g, want a recall fraction", i, v)
+		}
+		if i > 0 && v < curve[i-1] {
+			t.Errorf("recall series not cumulative: %v", curve)
+		}
+	}
+	if rec.Metrics["mcdebug:iterations"] < 1 || rec.Metrics["mcdebug:wall_seconds"] <= 0 {
+		t.Errorf("ledger metrics = %v", rec.Metrics)
+	}
+	if f, ok := rec.Metrics["mcdebug:recall_f"]; !ok || f < 0 || f > 1 {
+		t.Errorf("recall_f = %g (ok=%v), want a fraction", f, ok)
+	}
+	if rec.Telemetry == nil {
+		t.Error("ledger record lacks the telemetry snapshot")
+	} else if _, ok := rec.Telemetry.Gauges["mc_runtime_goroutines"]; !ok {
+		t.Error("snapshot missing mc_runtime_goroutines")
 	}
 	if data, err := os.ReadFile(tracePath); err != nil || !strings.Contains(string(data), `"traceEvents"`) {
 		t.Errorf("chrome trace missing or malformed (err=%v)", err)

@@ -26,6 +26,14 @@ func TestMetricNameGolden(t *testing.T) {
 	linttest.Run(t, lint.MetricNameAnalyzer, "testdata/src/metricname")
 }
 
+// TestMetricNameReservedGolden runs the analyzer over a fixture whose
+// import path ends in "/telemetry": the reserved mc_runtime_* and
+// mc_build_* registrations must be accepted there (and only there),
+// while the ordinary package-segment rule keeps firing.
+func TestMetricNameReservedGolden(t *testing.T) {
+	linttest.Run(t, lint.MetricNameAnalyzer, "testdata/src/telemetry")
+}
+
 func TestSpanEndGolden(t *testing.T) {
 	linttest.Run(t, lint.SpanEndAnalyzer, "testdata/src/spanend")
 }

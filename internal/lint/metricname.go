@@ -16,11 +16,22 @@ import (
 var MetricNameAnalyzer = &Analyzer{
 	Name: "metricname",
 	Doc: "metric names must be compile-time constants matching mc_<pkg>_<name> " +
-		"with <pkg> equal to the registering package's name",
+		"with <pkg> equal to the registering package's name; the mc_runtime_* " +
+		"and mc_build_* namespaces are reserved for the telemetry package",
 	Run: runMetricName,
 }
 
 var metricNameRE = regexp.MustCompile(`^mc_([a-z0-9]+)_([a-z0-9_]+)$`)
+
+// reservedMetricNamespaces are package segments that do not belong to
+// any registering package: mc_runtime_* (process gauges) and mc_build_*
+// (build-info series) are emitted by the telemetry package itself on
+// behalf of the whole process. Only the telemetry package may register
+// them — from anywhere else they would shadow the process-wide series.
+var reservedMetricNamespaces = map[string]bool{
+	"runtime": true,
+	"build":   true,
+}
 
 // registrationMethods are the Registry methods (and same-named
 // package-level conveniences) that create or look up a series by name.
@@ -64,6 +75,13 @@ func runMetricName(pass *Pass) error {
 			if m == nil {
 				pass.Reportf(arg.Pos(),
 					"metric name %q does not match ^mc_<pkg>_<name>$ (lowercase [a-z0-9_], e.g. mc_%s_items_total)", name, pass.Pkg.Name())
+				return true
+			}
+			if reservedMetricNamespaces[m[1]] {
+				if !isTelemetryPkg(pass.Pkg.Path()) {
+					pass.Reportf(arg.Pos(),
+						"metric namespace mc_%s_* is reserved for the telemetry package's process-wide series; package %q must use mc_%s_*", m[1], pass.Pkg.Name(), pass.Pkg.Name())
+				}
 				return true
 			}
 			if m[1] != pass.Pkg.Name() {

@@ -19,4 +19,10 @@ func register(r *telemetry.Registry, dyn string) {
 	r.Counter("MCItemsTotal")               // want "does not match"
 	r.Gauge("mc_mfix_BadCase")              // want "does not match"
 	r.Counter(dyn)                          // want "compile-time constant"
+
+	// The process-wide namespaces are reserved for the telemetry package
+	// itself; registering them from anywhere else shadows its series.
+	r.Gauge("mc_runtime_goroutines") // want "reserved"
+	r.Gauge("mc_build_info")         // want "reserved"
+	r.Counter("mc_build_cache_hits") // want "reserved"
 }

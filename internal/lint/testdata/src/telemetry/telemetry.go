@@ -1,0 +1,20 @@
+// Package telemetry is the reserved-namespace fixture for the
+// metricname analyzer: the fixture's import path ends in "/telemetry",
+// so isTelemetryPkg treats it as the telemetry package and the reserved
+// mc_runtime_* / mc_build_* registrations must be accepted — while the
+// ordinary mc_<pkg>_<name> rule still applies to everything else.
+package telemetry
+
+import real "matchcatcher/internal/telemetry"
+
+func register(r *real.Registry) {
+	// Reserved namespaces: allowed here, and only here.
+	r.Gauge("mc_runtime_goroutines")
+	r.Gauge("mc_runtime_heap_bytes")
+	r.Gauge("mc_build_info")
+
+	// The package's own series follow the normal convention.
+	r.Counter("mc_telemetry_snapshots_total")
+
+	r.Gauge("mc_other_thing") // want "claims package segment \"other\""
+}

@@ -1,0 +1,484 @@
+// Package perfstat implements benchstat-style statistics over repeated
+// measurement runs: order-statistic summaries (median with a ~95%
+// binomial confidence interval), the Mann–Whitney U significance test
+// (exact small-sample distribution, normal approximation with tie
+// correction otherwise), and direction-aware regression verdicts with
+// configurable thresholds.
+//
+// The methodology follows Go's benchstat tool: never trust a single
+// run; compare arms of repeated samples; call a difference real only
+// when a rank test says the arms are distinguishable AND the median
+// delta clears a practical threshold. Samples come from the
+// internal/runlog ledger (see runlog.Samples) and verdicts surface
+// through cmd/mcperf diff/check.
+//
+// Deterministic workloads get a sharper rule: when BOTH arms have zero
+// within-arm spread (same-seed recall counts, iteration counts), any
+// median difference is significant outright (p=0) — rank tests are
+// powerless at tiny n, but a deterministic quantity that moved, moved.
+package perfstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"matchcatcher/internal/floats"
+	"matchcatcher/internal/metrics"
+)
+
+// Direction says which way "worse" points for a metric.
+type Direction int
+
+const (
+	// None: informational metric; never a regression (e.g. iterations).
+	None Direction = iota
+	// LowerIsBetter: latencies, sizes — an increase is a regression.
+	LowerIsBetter
+	// HigherIsBetter: recall — a decrease is a regression.
+	HigherIsBetter
+)
+
+func (d Direction) String() string {
+	switch d {
+	case LowerIsBetter:
+		return "lower"
+	case HigherIsBetter:
+		return "higher"
+	default:
+		return "none"
+	}
+}
+
+// MarshalJSON serializes the direction as its String form, so JSON
+// consumers (diff -json, baseline files) see "lower"/"higher"/"none"
+// rather than an opaque enum ordinal.
+func (d Direction) MarshalJSON() ([]byte, error) { return json.Marshal(d.String()) }
+
+// UnmarshalJSON inverts MarshalJSON; unknown strings parse as None.
+func (d *Direction) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*d = ParseDirection(s)
+	return nil
+}
+
+// ParseDirection inverts Direction.String (for baseline files).
+func ParseDirection(s string) Direction {
+	switch s {
+	case "lower":
+		return LowerIsBetter
+	case "higher":
+		return HigherIsBetter
+	default:
+		return None
+	}
+}
+
+// DirectionFor infers a metric's direction from its key. Ledger keys
+// are "<workload...>:<quantity>"; the quantity decides:
+//
+//	recall*                          -> higher is better
+//	*_seconds, *_ns, *_bytes         -> lower is better
+//	anything else                    -> informational
+func DirectionFor(metric string) Direction {
+	q := metric
+	if i := strings.LastIndex(metric, ":"); i >= 0 {
+		q = metric[i+1:]
+	}
+	switch {
+	case strings.HasPrefix(q, "recall"):
+		return HigherIsBetter
+	case strings.HasSuffix(q, "_seconds") || strings.HasSuffix(q, "_ns") || strings.HasSuffix(q, "_bytes"):
+		return LowerIsBetter
+	default:
+		return None
+	}
+}
+
+// Summary is an order-statistic view of one sample arm.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// CILo/CIHi bound the median at ~95% confidence via the binomial
+	// order-statistic interval (benchstat's method). For N < 6 the
+	// interval degenerates to [Min, Max].
+	CILo float64 `json:"ci_lo"`
+	CIHi float64 `json:"ci_hi"`
+}
+
+// Summarize computes the summary of one arm. Empty input yields the
+// zero Summary.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	out := Summary{
+		N:      n,
+		Mean:   sum / float64(n),
+		Median: median(s),
+		Min:    s[0],
+		Max:    s[n-1],
+	}
+	lo, hi := medianCIIndices(n)
+	out.CILo, out.CIHi = s[lo], s[hi]
+	return out
+}
+
+// median of a sorted slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// medianCIIndices returns the sorted-sample indices [lo, hi] of the
+// ~95% binomial confidence interval on the median: the widest central
+// interval whose coverage sum_{i=lo..hi-1} C(n-1? ...) — concretely,
+// the standard order-statistic interval where P(X_lo <= median <=
+// X_hi) >= 0.95 under Binomial(n, 1/2). Small n degenerates to the
+// full range.
+func medianCIIndices(n int) (int, int) {
+	if n < 2 {
+		return 0, n - 1
+	}
+	// Walk inward symmetrically while the discarded tail mass stays
+	// under 2.5% per side.
+	const tail = 0.025
+	lo := 0
+	var mass float64
+	for lo < n/2 {
+		mass += binomPMF(n, lo)
+		if mass > tail {
+			break
+		}
+		lo++
+	}
+	if lo > 0 {
+		lo-- // last index whose cumulative tail stayed within bounds
+	}
+	hi := n - 1 - lo
+	return lo, hi
+}
+
+// binomPMF is C(n,k) / 2^n.
+func binomPMF(n, k int) float64 {
+	return math.Exp(lchoose(n, k) - float64(n)*math.Ln2)
+}
+
+func lchoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// SpreadPct renders the CI half-width as a percentage of the median
+// (the ±x% column of benchstat tables). Zero when the median is ~0.
+func (s Summary) SpreadPct() float64 {
+	if s.N < 2 || math.Abs(s.Median) < 1e-300 {
+		return 0
+	}
+	return (s.CIHi - s.CILo) / 2 / math.Abs(s.Median) * 100
+}
+
+// UTest returns the two-sided p-value of the Mann–Whitney U test for
+// samples x and y. Ties get midranks. With no ties and small arms the
+// exact permutation distribution is used; otherwise the normal
+// approximation with tie correction and continuity correction. Arms
+// with fewer than one sample each, or completely tied data, return 1.
+func UTest(x, y []float64) float64 {
+	m, n := len(x), len(y)
+	if m == 0 || n == 0 {
+		return 1
+	}
+	type obs struct {
+		v    float64
+		army bool
+	}
+	all := make([]obs, 0, m+n)
+	for _, v := range x {
+		all = append(all, obs{v, false})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, true})
+	}
+	sort.Slice(all, func(i, j int) bool { return floats.Less(all[i].v, all[j].v) })
+
+	// Midranks and tie bookkeeping.
+	ranks := make([]float64, m+n)
+	hasTies := false
+	var tieTerm float64 // sum of t^3 - t over tie groups
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && floats.Equal(all[j].v, all[i].v) {
+			j++
+		}
+		t := j - i
+		if t > 1 {
+			hasTies = true
+			tieTerm += float64(t*t*t - t)
+		}
+		mid := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		i = j
+	}
+	var rx float64
+	for i, o := range all {
+		if !o.army {
+			rx += ranks[i]
+		}
+	}
+	u := rx - float64(m*(m+1))/2 // U statistic for arm x
+
+	if !hasTies && m*n <= 400 && m+n <= 40 {
+		return exactUTestP(m, n, u)
+	}
+	N := m + n
+	mu := float64(m*n) / 2
+	sigma2 := float64(m*n) / 12 * (float64(N+1) - tieTerm/float64(N*(N-1)))
+	if sigma2 <= 0 {
+		return 1 // everything tied
+	}
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	return math.Erfc(z / math.Sqrt2)
+}
+
+// exactUTestP computes the exact two-sided p-value for integral U with
+// arm sizes m, n (no ties): p = 2 * P(U <= min(u, mn-u)), capped at 1.
+// The null distribution is counted with the standard recurrence
+// f(i,j,u) = f(i-1,j,u-j) + f(i,j-1,u).
+func exactUTestP(m, n int, u float64) float64 {
+	maxU := m * n
+	uInt := int(math.Round(u))
+	uSmall := uInt
+	if maxU-uInt < uSmall {
+		uSmall = maxU - uInt
+	}
+	// dp[j][u] = number of arrangements of i x's and j y's with statistic
+	// u, rolled over i.
+	dp := make([][]float64, n+1)
+	for j := range dp {
+		dp[j] = make([]float64, maxU+1)
+		dp[j][0] = 1 // zero x's: only u=0 is reachable
+	}
+	for i := 1; i <= m; i++ {
+		next := make([][]float64, n+1)
+		for j := 0; j <= n; j++ {
+			next[j] = make([]float64, maxU+1)
+			for uu := 0; uu <= i*j; uu++ {
+				// f(i,j,u) = f(i-1,j,u-j) + f(i,j-1,u): the largest
+				// observation is either the i-th x (beating all j y's)
+				// or the j-th y (beating none of the x's).
+				var v float64
+				if uu >= j {
+					v = dp[j][uu-j]
+				}
+				if j > 0 {
+					v += next[j-1][uu]
+				}
+				next[j][uu] = v
+			}
+		}
+		dp = next
+	}
+	total := math.Exp(lchoose(m+n, m))
+	var cum float64
+	for uu := 0; uu <= uSmall && uu <= maxU; uu++ {
+		cum += dp[n][uu]
+	}
+	p := 2 * cum / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Thresholds tune when a statistically distinguishable difference is
+// *reported* as a regression.
+type Thresholds struct {
+	// Alpha is the significance level for the U test (default 0.05).
+	Alpha float64
+	// MinDeltaPct is the practical-significance floor on the absolute
+	// median delta, as a fraction (default 0.05 = 5%). Differences
+	// smaller than this are noise-level even when statistically real.
+	MinDeltaPct float64
+	// MinSamples is the per-arm floor below which verdicts are
+	// indeterminate (default 2).
+	MinSamples int
+}
+
+// WithDefaults fills zero fields with the defaults.
+func (t Thresholds) WithDefaults() Thresholds {
+	if t.Alpha <= 0 {
+		t.Alpha = 0.05
+	}
+	if t.MinDeltaPct <= 0 {
+		t.MinDeltaPct = 0.05
+	}
+	if t.MinSamples <= 0 {
+		t.MinSamples = 2
+	}
+	return t
+}
+
+// Comparison is the verdict on one metric across two arms.
+type Comparison struct {
+	Metric    string    `json:"metric"`
+	Direction Direction `json:"direction"`
+	Old       Summary   `json:"old"`
+	New       Summary   `json:"new"`
+	// DeltaPct is (new.Median - old.Median) / old.Median * 100.
+	DeltaPct float64 `json:"delta_pct"`
+	// P is the two-sided Mann–Whitney p-value (0 in exact mode with a
+	// real difference, 1 in exact mode without).
+	P float64 `json:"p"`
+	// Exact marks the deterministic fast path: both arms had zero
+	// within-arm spread, so the medians compare outright.
+	Exact bool `json:"exact,omitempty"`
+	// Significant: the arms are statistically distinguishable at Alpha.
+	Significant bool `json:"significant"`
+	// Regression / Improvement: significant, direction-adjusted, and the
+	// delta clears MinDeltaPct.
+	Regression  bool `json:"regression"`
+	Improvement bool `json:"improvement"`
+	// Indeterminate: too few samples (or a missing arm) to say anything.
+	Indeterminate bool `json:"indeterminate,omitempty"`
+}
+
+// Outcome renders the verdict as one word for tables and summaries.
+func (c Comparison) Outcome() string {
+	switch {
+	case c.Indeterminate:
+		return "indeterminate"
+	case c.Regression:
+		return "REGRESSION"
+	case c.Improvement:
+		return "improvement"
+	default:
+		return "ok"
+	}
+}
+
+// Compare runs the full benchstat-style comparison of one metric's two
+// arms. The metric's direction is inferred with DirectionFor unless the
+// caller overrides it afterwards.
+func Compare(metric string, old, cur []float64, th Thresholds) Comparison {
+	th = th.WithDefaults()
+	c := Comparison{
+		Metric:    metric,
+		Direction: DirectionFor(metric),
+		Old:       Summarize(old),
+		New:       Summarize(cur),
+	}
+	c.DeltaPct = deltaPct(c.Old.Median, c.New.Median)
+	if c.Old.N == 0 || c.New.N == 0 {
+		c.Indeterminate = true
+		c.P = 1
+		return c
+	}
+
+	// The deterministic fast path needs at least two samples per arm:
+	// a single measurement is trivially "flat" and must not promote
+	// noise into a verdict.
+	oldFlat := c.Old.Max-c.Old.Min <= 0 && c.Old.N >= 2
+	newFlat := c.New.Max-c.New.Min <= 0 && c.New.N >= 2
+	switch {
+	case oldFlat && newFlat:
+		// Deterministic fast path: a flat quantity that moved, moved.
+		c.Exact = true
+		if floats.Equal(c.Old.Median, c.New.Median) {
+			c.P = 1
+		} else {
+			c.P = 0
+			c.Significant = true
+		}
+	case c.Old.N < th.MinSamples || c.New.N < th.MinSamples:
+		c.Indeterminate = true
+		c.P = 1
+		return c
+	default:
+		c.P = UTest(old, cur)
+		c.Significant = c.P < th.Alpha
+	}
+
+	if c.Significant && math.Abs(c.DeltaPct) >= th.MinDeltaPct*100 {
+		worse := (c.Direction == LowerIsBetter && c.DeltaPct > 0) ||
+			(c.Direction == HigherIsBetter && c.DeltaPct < 0)
+		better := (c.Direction == LowerIsBetter && c.DeltaPct < 0) ||
+			(c.Direction == HigherIsBetter && c.DeltaPct > 0)
+		c.Regression = worse
+		c.Improvement = better
+	}
+	return c
+}
+
+// deltaPct guards the zero-baseline cases.
+func deltaPct(oldMed, newMed float64) float64 {
+	if math.Abs(oldMed) < 1e-300 {
+		if math.Abs(newMed) < 1e-300 {
+			return 0
+		}
+		return math.Copysign(100, newMed)
+	}
+	return (newMed - oldMed) / math.Abs(oldMed) * 100
+}
+
+// CompareAll compares every metric present in the baseline arm against
+// the current arm, in sorted metric order. Metrics only in the current
+// arm are not gated (new metrics are not regressions); metrics missing
+// from the current arm come back indeterminate so the caller can warn.
+func CompareAll(baseline, current map[string][]float64, th Thresholds) []Comparison {
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Comparison, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Compare(k, baseline[k], current[k], th))
+	}
+	return out
+}
+
+// FormatTable renders comparisons as a benchstat-like text table.
+func FormatTable(cs []Comparison) string {
+	t := &metrics.Table{Headers: []string{"metric", "dir", "old", "new", "delta", "p", "verdict"}}
+	for _, c := range cs {
+		t.Add(c.Metric, c.Direction.String(),
+			formatArm(c.Old), formatArm(c.New),
+			fmt.Sprintf("%+.1f%%", c.DeltaPct),
+			fmt.Sprintf("%.3f", c.P),
+			c.Outcome())
+	}
+	return t.String()
+}
+
+func formatArm(s Summary) string {
+	if s.N == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.4g ±%.0f%% (n=%d)", s.Median, s.SpreadPct(), s.N)
+}

@@ -1,0 +1,242 @@
+package perfstat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2, 5, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Median < 3 || s.Median > 3 {
+		t.Errorf("median = %g, want 3", s.Median)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("mean = %g, want 3", s.Mean)
+	}
+	// n=5: the median CI degenerates to [min, max].
+	if s.CILo > 1 || s.CIHi < 5 {
+		t.Errorf("CI = [%g, %g], want [1, 5]", s.CILo, s.CIHi)
+	}
+
+	even := Summarize([]float64{1, 2, 3, 4})
+	if math.Abs(even.Median-2.5) > 1e-12 {
+		t.Errorf("even median = %g, want 2.5", even.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestMedianCIIndicesShrinkWithN(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		lo, hi := medianCIIndices(n)
+		if lo != 0 || hi != n-1 {
+			t.Errorf("n=%d: CI indices [%d,%d], want full range", n, lo, hi)
+		}
+	}
+	lo, hi := medianCIIndices(10)
+	if lo != 1 || hi != 8 {
+		t.Errorf("n=10: CI indices [%d,%d], want [1,8]", lo, hi)
+	}
+	lo, hi = medianCIIndices(30)
+	if lo <= 5 || hi >= 24 || lo >= hi {
+		t.Errorf("n=30: CI indices [%d,%d], want a strict central interval", lo, hi)
+	}
+}
+
+func TestUTest(t *testing.T) {
+	// Identical arms: completely tied, p = 1.
+	if p := UTest([]float64{1, 1, 1}, []float64{1, 1, 1}); p < 1 {
+		t.Errorf("tied p = %g, want 1", p)
+	}
+	// Clearly separated small arms (exact path): p = 2/C(10,5) = 0.0079...
+	x := []float64{1.00, 1.01, 1.02, 1.03, 1.04}
+	y := []float64{2.00, 2.01, 2.02, 2.03, 2.04}
+	p := UTest(x, y)
+	if p > 0.01 {
+		t.Errorf("separated p = %g, want <= 0.01", p)
+	}
+	want := 2.0 / 252.0 // exact two-sided p for complete separation, 5v5
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("exact p = %g, want %g", p, want)
+	}
+	// Symmetry.
+	if q := UTest(y, x); math.Abs(p-q) > 1e-12 {
+		t.Errorf("asymmetric: %g vs %g", p, q)
+	}
+	// Overlapping arms from the same distribution: not significant.
+	a := []float64{1.0, 1.2, 0.9, 1.1, 1.05}
+	b := []float64{1.1, 0.95, 1.15, 1.0, 1.08}
+	if p := UTest(a, b); p < 0.3 {
+		t.Errorf("same-distribution p = %g, want large", p)
+	}
+	// Empty arm.
+	if p := UTest(nil, []float64{1}); p < 1 {
+		t.Errorf("empty-arm p = %g, want 1", p)
+	}
+	// 3v3 perfect separation: exact two-sided p = 2/C(6,3) = 0.1 — the
+	// rank test structurally cannot reach 0.05 at this size.
+	if p := UTest([]float64{1, 2, 3}, []float64{10, 11, 12}); math.Abs(p-0.1) > 1e-9 {
+		t.Errorf("3v3 exact p = %g, want 0.1", p)
+	}
+}
+
+// TestUTestNormalApproxAgreesWithExact cross-checks the two code paths
+// on a mid-sized no-tie input.
+func TestUTestNormalApproxAgreesWithExact(t *testing.T) {
+	x := make([]float64, 15)
+	y := make([]float64, 15)
+	for i := range x {
+		x[i] = float64(i) * 1.000001 // no ties, interleaved with y
+		y[i] = float64(i) + 0.5
+	}
+	pExact := UTest(x, y) // 15+15=30 <= 40, exact path
+	// Force the approximation by exceeding the exact-size gate.
+	xBig := append(append([]float64(nil), x...), 100.25, 101.25, 102.25, 103.25, 104.25, 105.25)
+	yBig := append(append([]float64(nil), y...), 100.75, 101.75, 102.75, 103.75, 104.75, 105.75)
+	pApprox := UTest(xBig, yBig)
+	if pExact < 0.2 || pApprox < 0.2 {
+		t.Errorf("interleaved arms should be indistinguishable: exact=%g approx=%g", pExact, pApprox)
+	}
+}
+
+func TestDirectionFor(t *testing.T) {
+	cases := map[string]Direction{
+		"fig9/M2/HASH1/k1000/pct100:join_seconds": LowerIsBetter,
+		"perfgate/m2/HASH1:topk_seconds":          LowerIsBetter,
+		"x:heap_bytes":                            LowerIsBetter,
+		"table3/M2/HASH1:recall_f":                HigherIsBetter,
+		"mcdebug:recall":                          HigherIsBetter,
+		"table3/M2/HASH1:iterations":              None,
+		"bare_seconds":                            LowerIsBetter,
+		"whatever":                                None,
+	}
+	for k, want := range cases {
+		if got := DirectionFor(k); got != want {
+			t.Errorf("DirectionFor(%q) = %v, want %v", k, got, want)
+		}
+	}
+	if ParseDirection(LowerIsBetter.String()) != LowerIsBetter ||
+		ParseDirection(HigherIsBetter.String()) != HigherIsBetter ||
+		ParseDirection("none") != None {
+		t.Error("ParseDirection does not invert String")
+	}
+}
+
+// TestCompareFlagsInjectedSlowdown is the acceptance check: a ~10%
+// slowdown injected over a tight baseline must come back REGRESSION.
+func TestCompareFlagsInjectedSlowdown(t *testing.T) {
+	base := []float64{1.00, 1.01, 0.99, 1.02, 0.98}
+	slow := []float64{1.10, 1.11, 1.09, 1.12, 1.08} // +10%
+	c := Compare("perfgate/m2/HASH1/k1000:join_seconds", base, slow, Thresholds{})
+	if !c.Significant || !c.Regression {
+		t.Errorf("injected 10%% slowdown not flagged: %+v", c)
+	}
+	if c.DeltaPct < 5 || c.DeltaPct > 15 {
+		t.Errorf("delta = %g%%, want ~10%%", c.DeltaPct)
+	}
+	// The mirror image is an improvement, not a regression.
+	c = Compare("perfgate/m2/HASH1/k1000:join_seconds", slow, base, Thresholds{})
+	if c.Regression || !c.Improvement {
+		t.Errorf("speedup misclassified: %+v", c)
+	}
+}
+
+// TestCompareSameDistributionPasses is the other half of the
+// acceptance check: same-seed repeat runs must not flag.
+func TestCompareSameDistributionPasses(t *testing.T) {
+	a := []float64{1.00, 1.02, 0.99, 1.01, 0.98}
+	b := []float64{1.01, 0.99, 1.00, 1.02, 0.97}
+	c := Compare("x:join_seconds", a, b, Thresholds{})
+	if c.Regression || c.Improvement {
+		t.Errorf("noise flagged as a verdict: %+v", c)
+	}
+}
+
+func TestCompareDeterministicRecall(t *testing.T) {
+	// Same-seed recall counts are exactly repeatable: zero spread per
+	// arm. A drop must flag even at n=2 where rank tests are powerless.
+	base := []float64{12, 12, 12}
+	drop := []float64{11, 11, 11}
+	c := Compare("table3/M2/HASH1:recall_f", base, drop, Thresholds{})
+	if !c.Exact || !c.Significant || !c.Regression {
+		t.Errorf("deterministic recall drop not flagged: %+v", c)
+	}
+	// Unchanged recall: exact pass.
+	c = Compare("table3/M2/HASH1:recall_f", base, []float64{12, 12}, Thresholds{})
+	if !c.Exact || c.Significant || c.Regression || c.P < 1 {
+		t.Errorf("unchanged recall misflagged: %+v", c)
+	}
+	// A recall *increase* is an improvement.
+	c = Compare("table3/M2/HASH1:recall_f", base, []float64{14, 14}, Thresholds{})
+	if !c.Improvement || c.Regression {
+		t.Errorf("recall increase misclassified: %+v", c)
+	}
+	// Informational metrics never regress.
+	c = Compare("table3/M2/HASH1:iterations", []float64{3, 3}, []float64{9, 9}, Thresholds{})
+	if c.Regression || c.Improvement {
+		t.Errorf("informational metric produced a verdict: %+v", c)
+	}
+	if !c.Significant {
+		t.Errorf("informational change should still be significant: %+v", c)
+	}
+}
+
+func TestCompareGuards(t *testing.T) {
+	// Single samples: indeterminate, never a verdict.
+	c := Compare("x:join_seconds", []float64{1}, []float64{2}, Thresholds{})
+	if !c.Indeterminate || c.Regression {
+		t.Errorf("n=1 arms = %+v, want indeterminate", c)
+	}
+	// Missing arm: indeterminate.
+	c = Compare("x:join_seconds", []float64{1, 2, 3}, nil, Thresholds{})
+	if !c.Indeterminate {
+		t.Errorf("missing arm = %+v, want indeterminate", c)
+	}
+	// Below MinDeltaPct: significant but no verdict.
+	base := []float64{1.000, 1.001, 0.999, 1.002, 0.998}
+	tiny := []float64{1.020, 1.021, 1.019, 1.022, 1.018} // +2% < 5% floor
+	c = Compare("x:join_seconds", base, tiny, Thresholds{})
+	if c.Regression {
+		t.Errorf("sub-threshold delta flagged: %+v", c)
+	}
+	// ... unless the caller lowers the floor.
+	c = Compare("x:join_seconds", base, tiny, Thresholds{MinDeltaPct: 0.01})
+	if !c.Regression {
+		t.Errorf("1%% floor should flag a 2%% slowdown: %+v", c)
+	}
+}
+
+func TestCompareAllAndFormat(t *testing.T) {
+	baseline := map[string][]float64{
+		"a:join_seconds": {1.00, 1.01, 0.99, 1.02, 0.98},
+		"b:recall_f":     {12, 12, 12},
+		"c:gone_seconds": {5, 5, 5},
+	}
+	current := map[string][]float64{
+		"a:join_seconds": {1.10, 1.11, 1.09, 1.12, 1.08},
+		"b:recall_f":     {12, 12, 12},
+		"d:new_seconds":  {1, 2},
+	}
+	cs := CompareAll(baseline, current, Thresholds{})
+	if len(cs) != 3 {
+		t.Fatalf("comparisons = %d, want 3 (baseline keys only)", len(cs))
+	}
+	// Sorted metric order.
+	if cs[0].Metric != "a:join_seconds" || cs[1].Metric != "b:recall_f" || cs[2].Metric != "c:gone_seconds" {
+		t.Errorf("order = %v", []string{cs[0].Metric, cs[1].Metric, cs[2].Metric})
+	}
+	if !cs[0].Regression || cs[1].Regression || !cs[2].Indeterminate {
+		t.Errorf("verdicts = %s / %s / %s", cs[0].Outcome(), cs[1].Outcome(), cs[2].Outcome())
+	}
+	table := FormatTable(cs)
+	for _, want := range []string{"REGRESSION", "ok", "indeterminate", "a:join_seconds"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

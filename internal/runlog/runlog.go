@@ -1,0 +1,284 @@
+// Package runlog is MatchCatcher's flight recorder: an append-only,
+// self-describing JSONL ledger of measurement runs. Every mcbench and
+// mcdebug invocation (and anything else that wants its numbers to
+// count) appends one Record per run carrying the git revision, seed,
+// config hash, environment fingerprint, the run's telemetry Snapshot,
+// and per-iteration recall/latency series.
+//
+// The ledger is the raw-sample substrate for internal/perfstat:
+// repeated runs of the same workload accumulate as records sharing a
+// config hash, and benchstat-style comparisons (cmd/mcperf diff/check)
+// group samples by metric key across records. Records are one JSON
+// object per line; the file is only ever appended to, so interrupted
+// runs lose at most the record being written and two processes
+// appending concurrently interleave whole lines (O_APPEND).
+//
+// Format stability: every record carries Schema ("mc.runlog/v1").
+// Readers accept any "mc.runlog/*" schema and ignore unknown fields, so
+// old ledgers stay readable as the record grows.
+package runlog
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"matchcatcher/internal/telemetry"
+)
+
+// Schema identifies the current record layout.
+const Schema = "mc.runlog/v1"
+
+// Fingerprint captures the machine a record was measured on. Two
+// fingerprints are Comparable when GOOS, GOARCH, and CPU model agree —
+// the precondition for cross-ledger latency comparisons to mean
+// anything (benchstat methodology: never compare nanoseconds across
+// machines).
+type Fingerprint struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	CPU       string `json:"cpu,omitempty"` // model string, best effort
+	GoVersion string `json:"go_version"`
+	Hostname  string `json:"hostname,omitempty"`
+}
+
+// Comparable reports whether latency samples measured under f and g can
+// be meaningfully compared: same OS, architecture, and CPU model.
+// Scale-free quantities (recall, counts, iterations) are comparable
+// regardless.
+func (f Fingerprint) Comparable(g Fingerprint) bool {
+	return f.GOOS == g.GOOS && f.GOARCH == g.GOARCH && f.CPU == g.CPU
+}
+
+// Record is one measured run. Metrics holds scalar samples (one
+// measurement of each key in this run — repeated runs append repeated
+// records, and perfstat pools the per-key samples across records).
+// Series holds ordered per-iteration values, e.g. the debugger's
+// cumulative recall after each verifier iteration.
+type Record struct {
+	Schema string `json:"schema"`
+	// Time is the RFC3339 wall-clock time the record was built.
+	Time string `json:"time"`
+	// Tool names the producer: "mcbench", "mcdebug", "mcperf", ...
+	Tool string `json:"tool"`
+	// Exp labels the workload (experiment name or session label).
+	Exp  string `json:"exp,omitempty"`
+	Seed int64  `json:"seed"`
+	// Config is the full knob set of the run; ConfigHash is the first 12
+	// hex digits of the SHA-256 of its canonical JSON, so "same workload"
+	// is machine-checkable without field-by-field comparison.
+	Config     map[string]any `json:"config,omitempty"`
+	ConfigHash string         `json:"config_hash"`
+	Env        Fingerprint    `json:"env"`
+	Build      telemetry.BuildInfo `json:"build"`
+	// Metrics are this run's scalar samples, keyed
+	// "<workload...>:<quantity>" where the quantity suffix determines the
+	// regression direction (see perfstat.DirectionFor).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Series are ordered per-iteration values, e.g. "recall_by_iteration".
+	Series map[string][]float64 `json:"series,omitempty"`
+	// Telemetry is the run's full metrics snapshot (with mc_runtime_*
+	// machine context captured just before the snapshot).
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	Notes     string              `json:"notes,omitempty"`
+}
+
+// New builds a Record stamped with schema, time, environment
+// fingerprint, build identity, and the config's hash. Metrics/Series/
+// Telemetry start empty for the caller to fill.
+func New(tool, exp string, seed int64, cfg map[string]any) Record {
+	return Record{
+		Schema:     Schema,
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Tool:       tool,
+		Exp:        exp,
+		Seed:       seed,
+		Config:     cfg,
+		ConfigHash: ConfigHash(cfg),
+		Env:        CaptureFingerprint(),
+		Build:      Build(),
+	}
+}
+
+// AttachTelemetry captures machine context into reg (mc_runtime_*
+// gauges, mc_build_info) and stores its snapshot on the record.
+func (r *Record) AttachTelemetry(reg *telemetry.Registry) {
+	reg = telemetry.Or(reg)
+	reg.CaptureRuntime()
+	r.Telemetry = reg.Snapshot()
+}
+
+// ConfigHash hashes a config to a short stable identifier: the first 12
+// hex digits of the SHA-256 of the canonical (sorted-key) JSON
+// encoding. encoding/json already emits map keys sorted, so the hash is
+// independent of insertion order.
+func ConfigHash(cfg map[string]any) string {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		// Unmarshalable configs (channels, funcs) are programmer error;
+		// hash the error text so the record still carries *something*
+		// stable rather than panicking inside a measurement run.
+		data = []byte("unmarshalable:" + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// CaptureFingerprint samples the current machine.
+func CaptureFingerprint() Fingerprint {
+	f := Fingerprint{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		CPU:       cpuModel(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		f.Hostname = h
+	}
+	return f
+}
+
+// cpuModel returns the CPU model string, best effort (linux
+// /proc/cpuinfo; "" elsewhere).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// Build returns the build identity for ledger records:
+// telemetry.ReadBuild when the binary carries VCS stamping, otherwise a
+// best-effort `git rev-parse HEAD` / `git status --porcelain` from the
+// working directory (go run / go test binaries are not stamped).
+func Build() telemetry.BuildInfo {
+	b := telemetry.ReadBuild()
+	if b.Revision != "unknown" && b.Revision != "" {
+		return b
+	}
+	rev, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return b
+	}
+	b.Revision = strings.TrimSpace(string(rev))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+		b.Dirty = len(strings.TrimSpace(string(st))) > 0
+	}
+	return b
+}
+
+// Append appends records to the JSONL ledger at path, one compact JSON
+// object per line, creating the file (and parent directory) on first
+// use. O_APPEND keeps concurrent appenders line-atomic on POSIX
+// filesystems.
+func Append(path string, recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("runlog: open %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for i := range recs {
+		if recs[i].Schema == "" {
+			recs[i].Schema = Schema
+		}
+		if err := enc.Encode(&recs[i]); err != nil {
+			f.Close()
+			return fmt.Errorf("runlog: encode record: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("runlog: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Read decodes every record from r. Blank lines are skipped; a
+// malformed line or a record from a non-runlog schema fails with its
+// line number, because silently dropping measurements is how a
+// regression gate rots.
+func Read(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var recs []Record
+	for line := 1; ; line++ {
+		raw, err := br.ReadString('\n')
+		if raw == "" && err == io.EOF {
+			return recs, nil
+		}
+		if err != nil && err != io.EOF {
+			return recs, fmt.Errorf("runlog: line %d: %w", line, err)
+		}
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" {
+			if err == io.EOF {
+				return recs, nil
+			}
+			continue
+		}
+		var rec Record
+		if derr := json.Unmarshal([]byte(trimmed), &rec); derr != nil {
+			return recs, fmt.Errorf("runlog: line %d: %w", line, derr)
+		}
+		if !strings.HasPrefix(rec.Schema, "mc.runlog/") {
+			return recs, fmt.Errorf("runlog: line %d: schema %q is not a runlog record", line, rec.Schema)
+		}
+		recs = append(recs, rec)
+		if err == io.EOF {
+			return recs, nil
+		}
+	}
+}
+
+// ReadFile reads the ledger at path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Samples pools scalar metric samples across records, keyed by metric
+// name, preserving record order. This is the perfstat input shape.
+func Samples(recs []Record) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, r := range recs {
+		for _, k := range sortedKeys(r.Metrics) {
+			out[k] = append(out[k], r.Metrics[k])
+		}
+	}
+	return out
+}
+
+// sortedKeys returns m's keys in sorted order (deterministic iteration;
+// the mapiter analyzer bans raw map-range appends).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

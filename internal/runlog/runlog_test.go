@@ -1,0 +1,150 @@
+package runlog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"matchcatcher/internal/telemetry"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+
+	r1 := New("mcbench", "perf-gate", 1, map[string]any{"scale": 0.1, "k": 1000})
+	r1.Metrics = map[string]float64{"perfgate/m2/HASH1/k1000:join_seconds": 0.31}
+	r1.Series = map[string][]float64{"recall_by_iteration": {0.2, 0.5, 0.8}}
+
+	reg := telemetry.New()
+	reg.Counter("mc_runlog_test_total").Add(3)
+	r1.AttachTelemetry(reg)
+
+	if err := Append(path, r1); err != nil {
+		t.Fatal(err)
+	}
+	// A second Append grows the ledger; nothing is overwritten.
+	r2 := New("mcdebug", "session", 7, map[string]any{"n": 20})
+	r2.Metrics = map[string]float64{"mcdebug:iterations": 4}
+	if err := Append(path, r2); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	got := recs[0]
+	if got.Schema != Schema || got.Tool != "mcbench" || got.Exp != "perf-gate" || got.Seed != 1 {
+		t.Errorf("record 0 header = %+v", got)
+	}
+	if got.ConfigHash == "" || got.ConfigHash != r1.ConfigHash {
+		t.Errorf("config hash %q != %q", got.ConfigHash, r1.ConfigHash)
+	}
+	if got.Env.GOOS == "" || got.Env.GoVersion == "" || got.Env.NumCPU < 1 {
+		t.Errorf("fingerprint not captured: %+v", got.Env)
+	}
+	if got.Build.GoVersion == "" {
+		t.Errorf("build not stamped: %+v", got.Build)
+	}
+	if len(got.Series["recall_by_iteration"]) != 3 {
+		t.Errorf("series = %v", got.Series)
+	}
+	if got.Telemetry == nil {
+		t.Fatal("telemetry snapshot missing")
+	}
+	if got.Telemetry.Counters["mc_runlog_test_total"] != 3 {
+		t.Errorf("snapshot counters = %v", got.Telemetry.Counters)
+	}
+	// AttachTelemetry captured machine context into the snapshot.
+	if _, ok := got.Telemetry.Gauges["mc_runtime_goroutines"]; !ok {
+		t.Error("snapshot lacks mc_runtime_goroutines (CaptureRuntime not wired)")
+	}
+	if recs[1].Tool != "mcdebug" || recs[1].Metrics["mcdebug:iterations"] < 4 {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+}
+
+func TestConfigHashStable(t *testing.T) {
+	a := ConfigHash(map[string]any{"exp": "fig9", "scale": 0.1, "k": 1000})
+	b := ConfigHash(map[string]any{"k": 1000, "scale": 0.1, "exp": "fig9"})
+	if a != b {
+		t.Errorf("hash depends on insertion order: %s vs %s", a, b)
+	}
+	if len(a) != 12 {
+		t.Errorf("hash %q, want 12 hex digits", a)
+	}
+	if c := ConfigHash(map[string]any{"exp": "fig9", "scale": 0.2, "k": 1000}); c == a {
+		t.Error("different configs hash equal")
+	}
+}
+
+func TestReadRejectsCorruptAndForeignLines(t *testing.T) {
+	recs, err := Read(strings.NewReader(`{"schema":"mc.runlog/v1","tool":"x"}` + "\n" + `not json` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 parse error", err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("prefix records = %d, want 1", len(recs))
+	}
+
+	_, err = Read(strings.NewReader(`{"schema":"something.else/v9"}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("err = %v, want schema rejection", err)
+	}
+
+	// Future minor revisions of the runlog schema stay readable, and
+	// unknown fields are ignored.
+	recs, err = Read(strings.NewReader(
+		`{"schema":"mc.runlog/v2","tool":"future","novel_field":{"x":1}}` + "\n\n"))
+	if err != nil || len(recs) != 1 || recs[0].Tool != "future" {
+		t.Errorf("forward-compat read = %v, %v", recs, err)
+	}
+
+	// Missing trailing newline on the last record still parses.
+	recs, err = Read(strings.NewReader(`{"schema":"mc.runlog/v1","tool":"tail"}`))
+	if err != nil || len(recs) != 1 || recs[0].Tool != "tail" {
+		t.Errorf("no-final-newline read = %v, %v", recs, err)
+	}
+}
+
+func TestSamplesPoolsAcrossRecords(t *testing.T) {
+	recs := []Record{
+		{Metrics: map[string]float64{"a:x_seconds": 1, "b:y_seconds": 10}},
+		{Metrics: map[string]float64{"a:x_seconds": 2}},
+		{Metrics: map[string]float64{"a:x_seconds": 3, "b:y_seconds": 30}},
+	}
+	s := Samples(recs)
+	if len(s["a:x_seconds"]) != 3 || len(s["b:y_seconds"]) != 2 {
+		t.Fatalf("samples = %v", s)
+	}
+	// Record order is preserved per key.
+	want := []float64{1, 2, 3}
+	for i, v := range s["a:x_seconds"] {
+		if v < want[i] || v > want[i] {
+			t.Errorf("a:x_seconds[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+}
+
+func TestAppendCreatesAndIsAppendOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	for i := 0; i < 3; i++ {
+		if err := Append(path, Record{Tool: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 3 {
+		t.Errorf("ledger lines = %d, want 3", n)
+	}
+	if err := Append(path); err != nil { // zero records: no-op
+		t.Fatal(err)
+	}
+}

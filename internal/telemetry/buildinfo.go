@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the binary that produced a run: the VCS revision
+// it was built from, whether the working tree was dirty, and the Go
+// toolchain version. It is stamped into every telemetry Snapshot, the
+// mc_build_info exposition gauge, and every runlog ledger record, so a
+// measurement can always be traced back to the code that produced it.
+type BuildInfo struct {
+	// Revision is the vcs.revision build setting (full commit hash), or
+	// "unknown" when the binary was built without VCS stamping (e.g.
+	// `go test` binaries). Ledger writers may substitute a revision
+	// recovered from the working tree (see internal/runlog).
+	Revision string `json:"revision"`
+	// Dirty reports vcs.modified: the working tree had uncommitted
+	// changes at build time, so Revision alone does not pin the code.
+	Dirty bool `json:"dirty"`
+	// GoVersion is the toolchain that built the binary (runtime.Version
+	// when debug.ReadBuildInfo is unavailable).
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// ReadBuild returns the process's build identity via
+// debug.ReadBuildInfo, cached after the first call. It never fails:
+// missing VCS stamping yields Revision "unknown" and Dirty false.
+func ReadBuild() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Revision: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

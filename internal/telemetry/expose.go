@@ -46,13 +46,29 @@ func renderLabels(labels []Label, extra ...Label) string {
 	return sb.String()
 }
 
+// escapeHelp escapes a HELP text for the exposition format: backslash
+// and newline must be escaped (double quotes are fine in HELP).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 // WritePrometheus writes every registered series in the Prometheus text
 // exposition format (version 0.0.4), sorted by name then labels, with
-// one TYPE line per metric name.
+// one HELP line (when registered via SetHelp) and one TYPE line per
+// metric name. TestWritePrometheusGolden pins the exact bytes.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	prevName := ""
 	for _, s := range r.all() {
 		if s.name != prevName {
+			if help := r.helpFor(s.name); help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
 				return err
 			}
@@ -99,9 +115,12 @@ func writeHistogram(w io.Writer, s *series) error {
 }
 
 // Handler returns an http.Handler serving the registry in Prometheus
-// text format.
+// text format. Every scrape first refreshes the mc_runtime_* process
+// gauges and the mc_build_info identity gauge (CaptureRuntime), so
+// exposition always carries current machine context.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.CaptureRuntime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})

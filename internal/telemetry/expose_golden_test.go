@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenRegistry builds a registry exercising every exposition feature:
+// HELP lines, one TYPE line per name across several labeled series,
+// label escaping (quote, backslash, newline), histogram bucket
+// compression, and deterministic name-then-labels ordering regardless
+// of registration order (series are deliberately registered backwards).
+func goldenRegistry() *Registry {
+	r := New()
+
+	// Registered last-name-first: exposition must sort.
+	h := r.Histogram("mc_z_latency_seconds", L("stage", "join"))
+	h.Observe(1e-6) // first bucket
+	h.Observe(3e-6) // 4µs bucket
+	h.Observe(3e-6)
+	h.Observe(0.5) // high bucket
+	r.SetHelp("mc_z_latency_seconds", "Stage latency in seconds.")
+
+	r.Gauge("mc_y_queue_depth", L("path", `a"b\c`+"\n"+`d`)).Set(4)
+	r.Gauge("mc_y_queue_depth", L("path", "plain")).Set(2.5)
+	r.SetHelp("mc_y_queue_depth", `Escaped help: backslash \ and`+"\n"+`newline.`)
+
+	r.Counter("mc_x_items_total", L("ds", "M2"), L("k", "1000")).Add(12)
+	r.Counter("mc_x_items_total").Add(7)
+	r.SetHelp("mc_x_items_total", "Items processed.")
+
+	// No help registered: exposition emits TYPE only.
+	r.Counter("mc_w_bare_total").Inc()
+	return r
+}
+
+// TestWritePrometheusGolden pins the exact bytes of the Prometheus text
+// exposition (HELP/TYPE lines, label escaping, series ordering, bucket
+// compression) against testdata/expose.golden. Regenerate with
+//
+//	go test ./internal/telemetry -run WritePrometheusGolden -update
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "expose.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// The golden bytes must also be reproducible across a second render
+	// of an independently built registry (fresh shard maps, same series).
+	var again bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of identical registries differ")
+	}
+}
+
+// TestCaptureRuntime checks the process gauges land under their
+// reserved names with plausible values, and that mc_build_info carries
+// the build identity in labels with value 1.
+func TestCaptureRuntime(t *testing.T) {
+	r := New()
+	r.CaptureRuntime()
+	snap := r.Snapshot()
+
+	if g := snap.Gauges["mc_runtime_goroutines"]; g < 1 {
+		t.Errorf("mc_runtime_goroutines = %g, want >= 1", g)
+	}
+	if g := snap.Gauges["mc_runtime_heap_bytes"]; g <= 0 {
+		t.Errorf("mc_runtime_heap_bytes = %g, want > 0", g)
+	}
+	if _, ok := snap.Gauges["mc_runtime_gc_pause_total_seconds"]; !ok {
+		t.Error("missing mc_runtime_gc_pause_total_seconds")
+	}
+	if g, ok := snap.Gauges["mc_runtime_uptime_seconds"]; !ok || g < 0 {
+		t.Errorf("mc_runtime_uptime_seconds = %g present=%v", g, ok)
+	}
+	found := false
+	for k, v := range snap.Gauges {
+		if len(k) >= len("mc_build_info") && k[:len("mc_build_info")] == "mc_build_info" {
+			found = true
+			if v < 1 || v > 1 {
+				t.Errorf("mc_build_info = %g, want 1", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing mc_build_info gauge")
+	}
+
+	// Snapshot stamps the same build identity.
+	if snap.Build == nil || snap.Build.GoVersion == "" {
+		t.Errorf("snapshot build stamp = %+v, want Go version set", snap.Build)
+	}
+
+	// Nil and disabled registries are no-ops.
+	var nilReg *Registry
+	nilReg.CaptureRuntime()
+	Disabled().CaptureRuntime()
+	if n := Disabled().Snapshot().NumSeries(); n != 0 {
+		t.Errorf("disabled registry has %d series after CaptureRuntime", n)
+	}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// processStart anchors mc_runtime_uptime_seconds. Set at package init,
+// which for practical purposes is process start.
+var processStart = time.Now()
+
+// Reserved process-wide series. These deliberately break the
+// mc_<pkg>_<name> convention — they describe the *process*, not a
+// subsystem — so the metricname analyzer reserves the mc_runtime_* and
+// mc_build_* namespaces for this package alone.
+const (
+	runtimeGoroutines   = "mc_runtime_goroutines"
+	runtimeHeapBytes    = "mc_runtime_heap_bytes"
+	runtimeGCPauseTotal = "mc_runtime_gc_pause_total_seconds"
+	runtimeUptime       = "mc_runtime_uptime_seconds"
+	buildInfoGauge      = "mc_build_info"
+)
+
+// CaptureRuntime samples process-level machine context into the
+// registry: goroutine count, heap bytes in use, cumulative GC pause
+// time, process uptime, and the constant mc_build_info gauge carrying
+// the build identity in its labels. The /metrics handler calls it on
+// every scrape and runlog calls it before snapshotting a ledger record,
+// so both carry machine context for free.
+//
+// It is NOT called by Registry.Snapshot itself: snapshots of identical
+// runs must stay byte-identical (TestSnapshotDeterministic), and uptime
+// is not.
+func (r *Registry) CaptureRuntime() {
+	if r == nil || r.off {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	r.SetHelp(runtimeGoroutines, "Live goroutines at capture time.")
+	r.Gauge(runtimeGoroutines).Set(float64(runtime.NumGoroutine()))
+
+	r.SetHelp(runtimeHeapBytes, "Heap bytes in use (runtime.MemStats.HeapAlloc).")
+	r.Gauge(runtimeHeapBytes).Set(float64(ms.HeapAlloc))
+
+	r.SetHelp(runtimeGCPauseTotal, "Cumulative GC stop-the-world pause time in seconds.")
+	r.Gauge(runtimeGCPauseTotal).Set(float64(ms.PauseTotalNs) / 1e9)
+
+	r.SetHelp(runtimeUptime, "Seconds since process start.")
+	r.Gauge(runtimeUptime).Set(time.Since(processStart).Seconds())
+
+	b := ReadBuild()
+	r.SetHelp(buildInfoGauge, "Build identity; value is always 1, the identity lives in the labels.")
+	r.Gauge(buildInfoGauge,
+		L("revision", b.Revision),
+		L("dirty", strconv.FormatBool(b.Dirty)),
+		L("go", b.GoVersion),
+	).Set(1)
+}

@@ -24,6 +24,10 @@ type HistogramSnapshot struct {
 // JSON and -report diffs stay stable. TestSnapshotDeterministic guards
 // this property.
 type Snapshot struct {
+	// Build stamps the snapshot with the identity of the binary that
+	// produced it (git revision, dirty flag, Go version). Constant within
+	// a process, so it does not perturb snapshot determinism.
+	Build      *BuildInfo                   `json:"build,omitempty"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
@@ -40,7 +44,9 @@ func (s *Snapshot) NumSeries() int {
 // Snapshot captures the registry's current state. A nil or disabled
 // registry yields an empty snapshot.
 func (r *Registry) Snapshot() *Snapshot {
+	build := ReadBuild()
 	snap := &Snapshot{
+		Build:      &build,
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramSnapshot{},

@@ -82,15 +82,45 @@ type shard struct {
 type Registry struct {
 	off    bool
 	shards [numShards]shard
+
+	helpMu sync.RWMutex
+	help   map[string]string // metric name -> # HELP text
 }
 
 // New creates an empty registry.
 func New() *Registry {
-	r := &Registry{}
+	r := &Registry{help: make(map[string]string)}
 	for i := range r.shards {
 		r.shards[i].m = make(map[string]*series)
 	}
 	return r
+}
+
+// SetHelp attaches a one-line description to a metric name. The
+// Prometheus exposition emits it as the metric's # HELP line (before the
+// # TYPE line). Setting again overwrites; empty text clears. Safe on a
+// nil or disabled registry.
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil || r.off {
+		return
+	}
+	r.helpMu.Lock()
+	if text == "" {
+		delete(r.help, name)
+	} else {
+		r.help[name] = text
+	}
+	r.helpMu.Unlock()
+}
+
+// helpFor returns the HELP text registered for name, or "".
+func (r *Registry) helpFor(name string) string {
+	if r == nil || r.off {
+		return ""
+	}
+	r.helpMu.RLock()
+	defer r.helpMu.RUnlock()
+	return r.help[name]
 }
 
 var std = New()
