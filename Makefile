@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet mclint lint vuln fuzz-smoke perf-baseline perf-check
+.PHONY: all build test race vet mclint lint vuln fuzz-smoke perf-baseline perf-check parallel-bench
 
 all: build test
 
@@ -45,6 +45,7 @@ vuln:
 fuzz-smoke:
 	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzSoundex -fuzztime 10s
+	$(GO) test ./internal/ssjoin -run '^$$' -fuzz FuzzMergeTopK -fuzztime 10s
 
 # Performance regression observability (DESIGN.md "Performance
 # Regression Observability"). perf-baseline reruns the pinned perf-gate
@@ -64,7 +65,7 @@ perf-baseline:
 	$(GO) run ./cmd/mcbench -exp perf-gate -scale $(PERF_SCALE) -seed $(PERF_SEED) \
 		-count $(PERF_COUNT) -ledger $(PERF_LEDGER)
 	$(GO) run ./cmd/mcperf report -ledger $(PERF_LEDGER) -format json \
-		-desc "pinned perf-gate workload: M2 joins (HASH1/HASH2/SIM1, k=1000) + M2/HASH1 debug session at scale $(PERF_SCALE), seed $(PERF_SEED)" \
+		-desc "pinned perf-gate workload: M2 joins (HASH1/HASH2/SIM1, k=1000) + M2/HASH1 debug session + M2/HASH1 intra-join parallelism arm (probe workers 1 and 4) at scale $(PERF_SCALE), seed $(PERF_SEED)" \
 		-out BENCH_perf_gate.json
 
 perf-check:
@@ -72,3 +73,16 @@ perf-check:
 	$(GO) run ./cmd/mcbench -exp perf-gate -scale $(PERF_SCALE) -seed $(PERF_SEED) \
 		-count 4 -ledger $(PERF_LEDGER)
 	$(GO) run ./cmd/mcperf check -baseline BENCH_perf_gate.json -ledger $(PERF_LEDGER)
+
+# Intra-join parallelism speedup curve (BENCH_parallel_join.json): the
+# M2 join sweep at probe worker counts 1/2/4/8, each multi-worker run
+# bit-compared against the 1-worker reference while it is timed. Run on
+# quiet multi-core hardware to refresh the committed numbers; on a
+# single-core host the curve measures sharding's total-work expansion,
+# not wall-clock speedup (see the note in BENCH_parallel_join.json).
+PARALLEL_LEDGER ?= parallel-ledger.jsonl
+
+parallel-bench:
+	rm -f $(PARALLEL_LEDGER)
+	$(GO) run ./cmd/mcbench -exp parallel-join -scale $(PERF_SCALE) -seed $(PERF_SEED) \
+		-count 3 -ledger $(PARALLEL_LEDGER)

@@ -65,6 +65,7 @@ type cliOpts struct {
 	explain                [][2]int
 	explainGold            bool
 	n, k                   int
+	probeWorkers           int
 	seed                   int64
 	drops, keeps, equals   []string
 	log                    *slog.Logger
@@ -77,6 +78,7 @@ func main() {
 	flag.StringVar(&o.goldPath, "gold", "", "optional gold CSV (a_row,b_row); labels automatically")
 	flag.IntVar(&o.n, "n", 20, "pairs per iteration")
 	flag.IntVar(&o.k, "k", 1000, "top-k per config")
+	flag.IntVar(&o.probeWorkers, "probe-workers", 1, "goroutines inside each single-config join; results are bit-identical at any value")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.reportPath, "report", "", "write a JSON session report to this path")
 	flag.StringVar(&o.ledgerPath, "ledger", "", "append the session's metrics (recall-vs-iteration series, wall time) to this runlog JSONL ledger")
@@ -231,6 +233,7 @@ func run(o cliOpts) error {
 	sessionStart := time.Now()
 	opt := core.Options{Trace: tracer, Logger: o.log, Provenance: prov}
 	opt.Join.K = o.k
+	opt.Join.ProbeWorkers = o.probeWorkers
 	opt.Verifier.N = o.n
 	opt.Verifier.Seed = o.seed
 	dbg, err := core.New(a, b, c, opt)

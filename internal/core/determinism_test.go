@@ -25,10 +25,13 @@ func debugOnce(t *testing.T, seed int64) (pool []blocker.Pair, res ranker.RunRes
 	}
 	opt := Options{Metrics: telemetry.New()}
 	opt.Join.K = 200
-	// One join worker pins the list-reuse handoff (seed vs. mid-run
-	// merge), which is the only scheduling-dependent part of the
-	// pipeline; see ssjoin.Options.Workers.
-	opt.Join.Workers = 1
+	// Full parallelism on purpose: every single-config join is exact
+	// under the total order (score desc, idA, idB), so neither the
+	// cross-config worker pool nor the intra-join probe shards can move
+	// a bit of output. Same-seed runs must be byte-identical at ANY
+	// worker counts; see DESIGN.md "Intra-join parallelism & determinism".
+	opt.Join.Workers = 4
+	opt.Join.ProbeWorkers = 4
 	opt.Verifier.N = 10
 	opt.Verifier.Seed = seed
 	dbg, err := New(d.A, d.B, c, opt)

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"matchcatcher/internal/config"
+	"matchcatcher/internal/metrics"
+	"matchcatcher/internal/ssjoin"
+)
+
+// ParallelJoinPoint is one measurement of the intra-join parallelism
+// speedup curve: the joint top-k module's runtime for one blocker and k at
+// a given probe worker count, normalized against the 1-worker run of the
+// same sweep.
+type ParallelJoinPoint struct {
+	Dataset string
+	Blocker string
+	K       int
+	Workers int // ssjoin ProbeWorkers for this point
+	Seconds float64
+	// SpeedupX is baseline-seconds / this-point-seconds, where the
+	// baseline is the Workers=1 point of the same (dataset, blocker, k)
+	// series. 1.0 for the baseline itself by construction.
+	SpeedupX float64
+}
+
+// RunParallelJoin sweeps the joint top-k join over probe worker counts and
+// records the speedup curve. The corpus and each blocker's output are
+// built once, so the points time only ssjoin.JoinAll — the code the probe
+// sharding parallelizes.
+//
+// The sweep double-checks the determinism contract while it measures:
+// every multi-worker run's output is compared bit for bit against the
+// 1-worker reference, so a speedup number can never come from a run that
+// silently returned different pairs. (The real enforcement lives in the
+// internal/ssjoin differential suite; this is a seatbelt on the benchmark
+// path, where corpora are largest.)
+func (e *Env) RunParallelJoin(dataset string, specs []Spec, k int, workerCounts []int) ([]ParallelJoinPoint, error) {
+	d, err := e.Dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	res, err := config.Generate(d.A, d.B, config.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cor := ssjoin.NewCorpus(d.A, d.B, res)
+	var points []ParallelJoinPoint
+	for _, s := range specs {
+		_, c, err := e.Block(dataset, s.Blocker)
+		if err != nil {
+			return nil, err
+		}
+		var ref *ssjoin.JoinResult
+		var baseSeconds float64
+		for _, w := range workerCounts {
+			start := time.Now()
+			out := ssjoin.JoinAll(cor, c, ssjoin.Options{K: k, ProbeWorkers: w})
+			secs := time.Since(start).Seconds()
+			if ref == nil {
+				ref, baseSeconds = out, secs
+			} else if err := sameLists(ref.Lists, out.Lists); err != nil {
+				return nil, fmt.Errorf("parallel-join %s/%s k=%d workers=%d diverged from workers=%d: %w",
+					dataset, s.Label, k, w, workerCounts[0], err)
+			}
+			points = append(points, ParallelJoinPoint{
+				Dataset: dataset, Blocker: s.Label, K: k, Workers: w,
+				Seconds: secs, SpeedupX: baseSeconds / secs,
+			})
+		}
+	}
+	return points, nil
+}
+
+// sameLists compares two JoinAll outputs bit for bit (raw float64 bit
+// patterns, not epsilon) — the same comparison the differential tests use.
+func sameLists(a, b []ssjoin.TopKList) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d lists vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Config != b[i].Config || len(a[i].Pairs) != len(b[i].Pairs) {
+			return fmt.Errorf("list %d: config/len mismatch", i)
+		}
+		for j := range a[i].Pairs {
+			p, q := a[i].Pairs[j], b[i].Pairs[j]
+			if p.A != q.A || p.B != q.B || math.Float64bits(p.Score) != math.Float64bits(q.Score) {
+				return fmt.Errorf("list %d pair %d: (%d,%d,%x) vs (%d,%d,%x)",
+					i, j, p.A, p.B, math.Float64bits(p.Score), q.A, q.B, math.Float64bits(q.Score))
+			}
+		}
+	}
+	return nil
+}
+
+// FormatParallelJoin renders the speedup curve, one row per worker count.
+func FormatParallelJoin(points []ParallelJoinPoint) string {
+	t := &metrics.Table{Headers: []string{"Dataset", "Blocker", "k", "probe workers", "runtime(s)", "speedup"}}
+	for _, p := range points {
+		t.Add(p.Dataset, p.Blocker, p.K, p.Workers,
+			fmt.Sprintf("%.2f", p.Seconds), fmt.Sprintf("%.2fx", p.SpeedupX))
+	}
+	return t.String()
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"slices"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"matchcatcher/internal/blocker"
@@ -18,28 +19,48 @@ import (
 // consult the parent's overlap database before falling back to a merge.
 type scorer func(a, b int32) float64
 
+// scorerFactory builds a scorer bound to one shard's private runStats.
+// Shards run concurrently and runStats increments are plain (non-atomic)
+// adds, so every shard needs its own scorer; the factory is how runJoin
+// hands each one a scorer wired to the right counter block. Reused state
+// behind the scorer (the overlap databases) is internally synchronized.
+type scorerFactory func(rs *runStats) scorer
+
 // runOpts parameterizes one single-config join run.
 type runOpts struct {
 	k     int
 	q     int // compute a pair's score once it has q common prefix tokens
 	m     simfunc.SetMeasure
 	c     *blocker.PairSet // blocker output: pairs to exclude (may be nil)
-	score scorer
+	score scorerFactory
 	// seeds are pre-scored pairs (scores already under THIS config,
 	// already C-filtered) used to initialize the top-k list.
 	seeds []ScoredPair
 	// mergeCh optionally delivers a late parent top-k list (adjusted to
-	// this config) while the join runs; drained periodically.
+	// this config) while the join runs; drained periodically. The join is
+	// exact (see joinShard), so whether and when the list arrives changes
+	// only the work done, never the result.
 	mergeCh <-chan []ScoredPair
 	// cancel aborts the run when set (used by the q-selection race).
 	cancel *atomic.Bool
-	// stats collects this run's event counts (single-goroutine, plain
-	// increments). Always non-nil in real runs; runJoin tolerates nil.
+	// stats collects this run's event counts. Always non-nil in real
+	// runs; runJoin tolerates nil. With probe sharding the per-shard
+	// counts are folded in deterministically after the pool joins.
 	stats *runStats
 	// span is this config join's trace span; runJoin opens tokenize /
-	// probe / flush child spans under it. Nil disables tracing (all the
-	// sub-span calls degrade to no-ops).
+	// index / probe / topk child spans under it (per shard when the probe
+	// is sharded). Nil disables tracing (all the sub-span calls degrade
+	// to no-ops).
 	span *telemetry.TraceSpan
+	// probeWorkers bounds the goroutines running probe shards (and the
+	// parallel tokenize). <= 1 selects the serial single-shard path. The
+	// result is bit-identical for every value; see DESIGN.md "Intra-join
+	// parallelism & determinism".
+	probeWorkers int
+	// probeShards overrides the shard count (0 = one shard per probe
+	// worker). Exposed for the metamorphic tests, which prove the shard
+	// count is invisible in the output.
+	probeShards int
 }
 
 // Candidate-pair states are packed into a map[int64]int32 to keep the
@@ -73,6 +94,67 @@ func instances(r *record, m config.Mask) []int64 {
 	return out
 }
 
+// tokenizeInstances materializes both sides' token-instance lists. Each
+// record's list is a pure function of the record and the mask, so the
+// work parallelizes over contiguous record ranges with no effect on the
+// output; workers <= 1 runs inline.
+func tokenizeInstances(cor *Corpus, mask config.Mask, workers int) (instA, instB [][]int64) {
+	instA = make([][]int64, len(cor.recsA))
+	instB = make([][]int64, len(cor.recsB))
+	fill := func(lo, hi int) {
+		// Records are numbered A first, then B, so one range covers both.
+		for i := lo; i < hi; i++ {
+			if i < len(instA) {
+				instA[i] = instances(&cor.recsA[i], mask)
+			} else {
+				instB[i-len(instA)] = instances(&cor.recsB[i-len(instA)], mask)
+			}
+		}
+	}
+	n := len(instA) + len(instB)
+	if workers <= 1 || n < 2*minParallelTokenize {
+		fill(0, n)
+		return instA, instB
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fill(lo, hi)
+		}()
+	}
+	wg.Wait()
+	return instA, instB
+}
+
+// minParallelTokenize is the per-worker record count under which spawning
+// tokenize goroutines costs more than it saves.
+const minParallelTokenize = 256
+
+// shardView restricts which records seed probe events in one shard. The
+// sharded side's records are dealt round-robin (rec mod shards); the
+// other side participates fully in every shard, so each candidate pair
+// belongs to exactly one shard — the invariant that makes the shard-heap
+// merge a disjoint union. The zero view (shards == 0) owns everything.
+type shardView struct {
+	side   int8 // which side is sharded: 0 = A, 1 = B
+	shard  int  // this shard's index
+	shards int  // total shard count; <= 1 disables sharding
+}
+
+func (v shardView) owns(side int8, rec int32) bool {
+	if v.shards <= 1 || side != v.side {
+		return true
+	}
+	return int(rec)%v.shards == v.shard
+}
+
 // runJoin executes QJoin (Section 4.1) for one config: an event heap pops
 // the prefix extension with the highest score cap; each extension joins
 // the new token instance against the opposite side's current prefixes via
@@ -81,6 +163,16 @@ func instances(r *record, m config.Mask) []int64 {
 // bound beats the k-th score is scored (the flush that keeps q-deferral
 // exact). Pairs present in the blocker output C are tracked but never
 // emitted (Definition 2.2 searches D = A×B − C).
+//
+// All pruning is strict (a bound must fall below the k-th retained score
+// before anything is skipped), so the returned list is the exact top-k of
+// D under the total order (score desc, idA asc, idB asc) — a pure
+// function of (corpus, mask, k, C, measure). Seeds, mid-run merges, q,
+// and the probe worker/shard counts change only how much work the join
+// does, never its output; that invariance is what lets runJoin shard the
+// probe side across probeWorkers goroutines (one bounded heap per shard,
+// merged under the same total order) and still return bytes identical to
+// the serial join.
 func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	if opt.q < 1 {
 		opt.q = 1
@@ -88,19 +180,163 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	if opt.stats == nil {
 		opt.stats = &runStats{}
 	}
-	rs := opt.stats
+	if opt.probeWorkers < 1 {
+		opt.probeWorkers = 1
+	}
+	shards := opt.probeShards
+	if shards == 0 {
+		shards = opt.probeWorkers
+	}
+	if shards < 1 {
+		shards = 1
+	}
 	nA, nB := len(cor.recsA), len(cor.recsB)
+	// Shard the larger side: the unsharded side's prefix events replay in
+	// every shard, so replicating the smaller side minimizes the
+	// duplicated heap work. Pair touches, scoring, and the flush — the
+	// join's real costs — partition with the sharded side.
+	side := int8(0)
+	sideLen := nA
+	if nB > nA {
+		side, sideLen = 1, nB
+	}
+	if shards > sideLen {
+		shards = sideLen // empty shards would only replay the other side
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
 	tokSpan := opt.span.Child("ssjoin.tokenize")
-	instA := make([][]int64, nA)
-	instB := make([][]int64, nB)
-	for i := range cor.recsA {
-		instA[i] = instances(&cor.recsA[i], mask)
-	}
-	for i := range cor.recsB {
-		instB[i] = instances(&cor.recsB[i], mask)
-	}
+	instA, instB := tokenizeInstances(cor, mask, opt.probeWorkers)
 	tokSpan.SetAttrInt("records", int64(nA+nB))
 	tokSpan.End()
+
+	if shards <= 1 {
+		top := joinShard(cor, mask, opt, shardView{}, instA, instB,
+			opt.stats, opt.score(opt.stats), opt.seeds, opt.mergeCh, opt.span)
+		return top.list(mask)
+	}
+	return runJoinSharded(cor, mask, opt, side, shards, instA, instB)
+}
+
+// runJoinSharded fans one config's probe out over a bounded worker pool:
+// each shard runs the full exact join restricted to its slice of the
+// sharded side (per-shard posting lists, per-shard top-k heap), and the
+// shard heaps are merged under the same total-order tie-break the serial
+// insert path uses. Because every shard is exact on its (disjoint) slice
+// of the pair space, the merged list is the exact global top-k — bytes
+// identical to the serial join for every worker and shard count.
+func runJoinSharded(cor *Corpus, mask config.Mask, opt runOpts, side int8, shards int, instA, instB [][]int64) TopKList {
+	rs := opt.stats
+	seeds := opt.seeds
+	// Fold an already-delivered parent list into the seeds. Later
+	// arrivals are ignored: exactness makes the handoff invisible to the
+	// result, so a missed merge costs only the list-reuse speedup.
+	if opt.mergeCh != nil {
+		select {
+		case list := <-opt.mergeCh:
+			seeds = append(append([]ScoredPair(nil), seeds...), list...)
+		default:
+		}
+	}
+	seedsFor := make([][]ScoredPair, shards)
+	for _, p := range seeds {
+		rec := p.A
+		if side == 1 {
+			rec = p.B
+		}
+		s := int(rec) % shards
+		seedsFor[s] = append(seedsFor[s], p)
+	}
+
+	heaps := make([]*topkHeap, shards)
+	shardStats := make([]runStats, shards)
+	workers := opt.probeWorkers
+	if workers > shards {
+		workers = shards
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				srs := &shardStats[s]
+				ssp := opt.span.Child("ssjoin.shard",
+					telemetry.L("shard", strconv.Itoa(s)),
+					telemetry.L("shards", strconv.Itoa(shards)))
+				view := shardView{side: side, shard: s, shards: shards}
+				heaps[s] = joinShard(cor, mask, opt, view, instA, instB,
+					srs, opt.score(srs), seedsFor[s], nil, ssp)
+				ssp.End()
+			}
+		}()
+	}
+	for s := 0; s < shards; s++ {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Fold shard counters in shard-index order — deterministic totals
+	// regardless of which worker ran which shard when.
+	for s := range shardStats {
+		rs.fold(&shardStats[s])
+	}
+	rs.probeShards += int64(shards)
+
+	msp := opt.span.Child("ssjoin.merge")
+	lists := make([][]ScoredPair, shards)
+	merged := 0
+	for s, h := range heaps {
+		lists[s] = h.items
+		merged += len(h.items)
+	}
+	top := mergeTopK(opt.k, lists...)
+	rs.shardMergePairs += int64(merged)
+	msp.SetAttrInt("pairs", int64(merged))
+	msp.SetAttrInt("shards", int64(shards))
+	msp.End()
+	return top.list(mask)
+}
+
+// mergeTopK merges per-shard top-k candidate lists into one bounded heap
+// through the same total-order offer path serial inserts use, so the
+// merged result never depends on shard order or arrival order. Callers
+// guarantee a pair appears in at most one list (shards partition the pair
+// space); FuzzMergeTopK checks the merge against serial insertion of the
+// concatenated pairs, exact float ties included.
+func mergeTopK(k int, lists ...[]ScoredPair) *topkHeap {
+	top := newTopkHeap(k)
+	for _, l := range lists {
+		for _, p := range l {
+			top.offer(p)
+		}
+	}
+	return top
+}
+
+// joinShard is the probe core shared by the serial and sharded paths: the
+// prefix-event loop of Section 4.1 restricted to the records the view
+// owns. Only event seeding consults the view — a record the shard does
+// not own never enters the event heap, so its instances never reach the
+// shard's inverted index and the shard only ever touches pairs whose
+// sharded-side record it owns.
+//
+// Every prune in this loop is strict (bound < k-th score). A bound equal
+// to the k-th score must survive: the pair behind it could tie the
+// boundary score and win the (idA, idB) tie-break, and pruning it is
+// exactly the schedule-dependent tie-flip the old Workers caveat
+// documented. With strict prunes the shard's heap is the exact top-k of
+// its pair subspace under the total order, which is what the shard merge
+// and the differential suite rely on.
+func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
+	instA, instB [][]int64, rs *runStats, score scorer,
+	seeds []ScoredPair, mergeCh <-chan []ScoredPair, span *telemetry.TraceSpan) *topkHeap {
+
+	nA, nB := len(cor.recsA), len(cor.recsB)
 	posA := make([]int32, nA)
 	posB := make([]int32, nB)
 
@@ -110,14 +346,14 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 
 	admit := func(key int64, a, b int32) {
 		pairs[key] = pairScored
-		top.offer(ScoredPair{A: a, B: b, Score: opt.score(a, b)})
+		top.offer(ScoredPair{A: a, B: b, Score: score(a, b)})
 	}
 	// absorb folds a parent config's top-k pairs into this run, rescoring
 	// each pair under this config (scores do not transfer across configs;
 	// the scorer answers from the parent's overlap DB when reuse is on).
 	absorb := func(list []ScoredPair) {
 		if len(list) > 0 {
-			opt.span.Event("absorb", telemetry.L("pairs", strconv.Itoa(len(list))))
+			span.Event("absorb", telemetry.L("pairs", strconv.Itoa(len(list))))
 		}
 		for _, p := range list {
 			key := pairKey(p.A, p.B)
@@ -132,7 +368,7 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 			admit(key, p.A, p.B)
 		}
 	}
-	absorb(opt.seeds)
+	absorb(seeds)
 
 	var events eventHeap
 	push := func(side int8, rec int32) {
@@ -147,18 +383,22 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 			return
 		}
 		cap := opt.m.ExtendCap(int(pos), l)
-		if top.full() && cap <= top.kthScore() {
+		if top.full() && cap < top.kthScore() {
 			rs.pruneKills++
 			return // this string can never produce a new top-k pair
 		}
 		heap.Push(&events, event{cap: cap, side: side, rec: rec})
 	}
-	idxSpan := opt.span.Child("ssjoin.index")
+	idxSpan := span.Child("ssjoin.index")
 	for i := int32(0); i < int32(nA); i++ {
-		push(0, i)
+		if view.owns(0, i) {
+			push(0, i)
+		}
 	}
 	for i := int32(0); i < int32(nB); i++ {
-		push(1, i)
+		if view.owns(1, i) {
+			push(1, i)
+		}
 	}
 	idxSpan.SetAttrInt("events_seeded", int64(events.Len()))
 	idxSpan.End()
@@ -182,25 +422,25 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		pairs[key] = st
 	}
 
-	probeSpan := opt.span.Child("ssjoin.probe")
+	probeSpan := span.Child("ssjoin.probe")
 	steps := 0
 	for events.Len() > 0 {
 		if steps++; steps&1023 == 0 {
 			if opt.cancel != nil && opt.cancel.Load() {
 				probeSpan.Event("cancelled")
 				probeSpan.End()
-				return top.list(mask)
+				return top
 			}
-			if opt.mergeCh != nil {
+			if mergeCh != nil {
 				select {
-				case list := <-opt.mergeCh:
+				case list := <-mergeCh:
 					absorb(list)
 				default:
 				}
 			}
 		}
 		ev := events.items[0]
-		if top.full() && ev.cap <= top.kthScore() {
+		if top.full() && ev.cap < top.kthScore() {
 			rs.pruneKills += int64(events.Len())
 			break
 		}
@@ -237,23 +477,23 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	probeSpan.End()
 
 	// Drain any merge list that arrived after the loop ended.
-	if opt.mergeCh != nil {
+	if mergeCh != nil {
 		select {
-		case list := <-opt.mergeCh:
+		case list := <-mergeCh:
 			absorb(list)
 		default:
 		}
 	}
 
 	// Flush: pending pairs (seen < q common instances) may still belong
-	// in the top-k; score those whose optimistic bound beats the k-th
-	// score. Every uncounted common instance lies beyond at least one
+	// in the top-k; score those whose optimistic bound ties or beats the
+	// k-th score. Every uncounted common instance lies beyond at least one
 	// final prefix, so overlap <= count + (lx-px) + (ly-py). The pending
 	// keys are sorted first: map iteration order is randomized, and the
 	// k-th score rises as flushed pairs are admitted, so a deterministic
-	// visit order is what makes reruns reproduce the same list (and the
-	// same mc_ssjoin_flushed_pairs_total count).
-	topkSpan := opt.span.Child("ssjoin.topk")
+	// visit order is what makes reruns reproduce the same counters (the
+	// list itself is order-independent by the total-order retention).
+	topkSpan := span.Child("ssjoin.topk")
 	pending := make([]int64, 0, len(pairs))
 	for key, st := range pairs {
 		if st > 0 {
@@ -271,7 +511,7 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 		if m := min(lx, ly); oMax > m {
 			oMax = m
 		}
-		if top.full() && opt.m.FromOverlap(oMax, lx, ly) <= top.kthScore() {
+		if top.full() && opt.m.FromOverlap(oMax, lx, ly) < top.kthScore() {
 			continue
 		}
 		rs.flushedPairs++
@@ -280,5 +520,5 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	topkSpan.SetAttrInt("deferred_pairs", rs.deferredPairs)
 	topkSpan.SetAttrInt("flushed_pairs", rs.flushedPairs)
 	topkSpan.End()
-	return top.list(mask)
+	return top
 }

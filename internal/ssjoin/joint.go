@@ -28,11 +28,21 @@ type Options struct {
 	// reproduces the TopKJoin baseline's eager scoring.
 	Q int
 	// Workers bounds the number of configs processed concurrently
-	// (default GOMAXPROCS). Each single-config join is deterministic, but
-	// with Workers > 1 the list-reuse handoff (seed vs. mid-run merge)
-	// depends on scheduling, which can flip equal-score ties at the top-k
-	// boundary between runs; set Workers to 1 for bit-reproducible runs.
+	// (default GOMAXPROCS). Every single-config join returns the exact
+	// top-k of its config under the total order (score desc, idA, idB),
+	// so neither Workers nor the list-reuse handoff (seed vs. mid-run
+	// merge) can change any output bit: runs are bit-reproducible at
+	// every worker count.
 	Workers int
+	// ProbeWorkers shards the inside of each single-config join across a
+	// bounded worker pool (per-shard posting lists and top-k heaps,
+	// merged under the same total order). Default 1 (serial probe) —
+	// cross-config Workers already saturate cores on full-tree joins;
+	// raise ProbeWorkers to cut the latency of a single config's join
+	// (the interactive loop's critical path). The output is bit-identical
+	// to the serial join for every value; see DESIGN.md "Intra-join
+	// parallelism & determinism".
+	ProbeWorkers int
 	// ReuseMinAvgTokens gates overlap reuse: reuse only pays off for long
 	// tuples, so it triggers only when the average tuple length is at
 	// least this many tokens (default 20, the paper's t).
@@ -66,6 +76,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.ProbeWorkers < 1 {
+		o.ProbeWorkers = 1
+	}
 	if o.ReuseMinAvgTokens == 0 {
 		o.ReuseMinAvgTokens = 20
 	}
@@ -87,6 +100,8 @@ type Stats struct {
 	DeferredPairs   int64 // pairs still below q common instances at flush time
 	FlushedPairs    int64 // deferred pairs the exactness flush had to score
 	SuppressedPairs int64 // pairs skipped because they are in C
+	ProbeShards     int64 // probe shards executed across configs (0 = serial probes)
+	ShardMergePairs int64 // shard-heap pairs offered to the top-k merges
 	QUsed           int   // the q QJoin ran with
 	ReuseActive     bool  // whether the avg-length gate enabled reuse
 }
@@ -131,12 +146,20 @@ func (h *hdb) put(key int64, v []maskPair) {
 	h.mu.Unlock()
 }
 
-// makeScorer builds the scorer for one config: consult the parent's
-// overlap DB first, fall back to a token-list merge, and record common
-// token masks into the config's own DB when it has children of its own.
-// The scorer is owned by a single runJoin goroutine, so the runStats
-// increments are plain adds.
-func makeScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfunc.SetMeasure, rs *runStats) scorer {
+// makeScorer builds the scorer factory for one config: consult the
+// parent's overlap DB first, fall back to a token-list merge, and record
+// common token masks into the config's own DB when it has children of its
+// own. runJoin instantiates one scorer per probe shard, each bound to
+// that shard's private runStats, so the increments stay plain adds; the
+// overlap databases behind the scorer are internally synchronized.
+func makeScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfunc.SetMeasure) scorerFactory {
+	return func(rs *runStats) scorer {
+		return makeShardScorer(cor, mask, parentH, ownH, m, rs)
+	}
+}
+
+// makeShardScorer is one shard's scorer, bound to its runStats block.
+func makeShardScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfunc.SetMeasure, rs *runStats) scorer {
 	return func(a, b int32) float64 {
 		ra, rb := &cor.recsA[a], &cor.recsB[b]
 		lx, ly := ra.lenUnder(mask), rb.lenUnder(mask)
@@ -185,13 +208,14 @@ func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) Top
 		telemetry.L("q", strconv.Itoa(opt.Q)))
 	start := time.Now()
 	list := runJoin(cor, mask, runOpts{
-		k:     opt.K,
-		q:     opt.Q,
-		m:     opt.Measure,
-		c:     c,
-		score: makeScorer(cor, mask, nil, nil, opt.Measure, rs),
-		stats: rs,
-		span:  csp,
+		k:            opt.K,
+		q:            opt.Q,
+		m:            opt.Measure,
+		c:            c,
+		score:        makeScorer(cor, mask, nil, nil, opt.Measure),
+		stats:        rs,
+		span:         csp,
+		probeWorkers: opt.ProbeWorkers,
 	})
 	csp.End()
 	snk.record(rs, time.Since(start))
@@ -215,13 +239,16 @@ func SelectQ(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) int
 			defer wg.Done()
 			// The race's joins are throwaway measurements at k = 50; their
 			// runStats stay local so they do not pollute the run counters.
+			// They run with a serial probe: the four q arms already occupy
+			// one goroutine each, and what the race measures is the serial
+			// cost profile of each q.
 			rs := &runStats{}
 			runJoin(cor, mask, runOpts{
 				k:      50,
 				q:      q,
 				m:      opt.Measure,
 				c:      c,
-				score:  makeScorer(cor, mask, nil, nil, opt.Measure, rs),
+				score:  makeScorer(cor, mask, nil, nil, opt.Measure),
 				cancel: &cancel,
 				stats:  rs,
 			})
@@ -292,13 +319,14 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 					telemetry.L("config", cor.Res.String(n.Mask)),
 					telemetry.L("q", strconv.Itoa(q)))
 				ro := runOpts{
-					k:     opt.K,
-					q:     q,
-					m:     opt.Measure,
-					c:     c,
-					score: makeScorer(cor, n.Mask, parentH, dbs[i], opt.Measure, rs),
-					stats: rs,
-					span:  csp,
+					k:            opt.K,
+					q:            q,
+					m:            opt.Measure,
+					c:            c,
+					score:        makeScorer(cor, n.Mask, parentH, dbs[i], opt.Measure),
+					stats:        rs,
+					span:         csp,
+					probeWorkers: opt.ProbeWorkers,
 				}
 				if n.Parent != nil && !opt.DisableListReuse {
 					if pi := idxOf[n.Parent]; done[pi].Load() {

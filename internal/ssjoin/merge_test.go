@@ -16,8 +16,7 @@ func TestMergeChannelAbsorbsParentList(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	cor, res, c := randomCorpus(t, rng, 30, 30)
 	mask := res.Root.Mask
-	var stats runStats
-	score := makeScorer(cor, mask, nil, nil, simfunc.Jaccard, &stats)
+	score := makeScorer(cor, mask, nil, nil, simfunc.Jaccard)
 
 	// The "parent list" here is just the true top-k itself; absorbing it
 	// must not corrupt the result (rescoring + dedup are exercised).
@@ -48,19 +47,18 @@ func TestSeedsIdenticalToMerge(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	cor, res, c := randomCorpus(t, rng, 25, 25)
 	mask := res.Root.Mask
-	var stats runStats
 	parent := BruteForce(cor, mask, c, 8, simfunc.Jaccard)
 
 	seeded := runJoin(cor, mask, runOpts{
 		k: 8, q: 2, m: simfunc.Jaccard, c: c,
-		score: makeScorer(cor, mask, nil, nil, simfunc.Jaccard, &stats),
+		score: makeScorer(cor, mask, nil, nil, simfunc.Jaccard),
 		seeds: parent.Pairs,
 	})
 	ch := make(chan []ScoredPair, 1)
 	ch <- parent.Pairs
 	merged := runJoin(cor, mask, runOpts{
 		k: 8, q: 2, m: simfunc.Jaccard, c: c,
-		score:   makeScorer(cor, mask, nil, nil, simfunc.Jaccard, &stats),
+		score:   makeScorer(cor, mask, nil, nil, simfunc.Jaccard),
 		mergeCh: ch,
 	})
 	ss, ms := scoresOf(seeded), scoresOf(merged)
@@ -78,10 +76,9 @@ func TestSeedsIdenticalToMerge(t *testing.T) {
 func TestCancelStopsRun(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	cor, res, c := randomCorpus(t, rng, 40, 40)
-	var stats runStats
 	opts := runOpts{
 		k: 20, q: 2, m: simfunc.Jaccard, c: c,
-		score: makeScorer(cor, res.Root.Mask, nil, nil, simfunc.Jaccard, &stats),
+		score: makeScorer(cor, res.Root.Mask, nil, nil, simfunc.Jaccard),
 	}
 	var cancel atomic.Bool
 	cancel.Store(true)

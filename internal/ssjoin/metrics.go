@@ -19,10 +19,29 @@ type runStats struct {
 	reusedScores    int64 // pair scores answered by a parent's H_γ (hit)
 	reuseMisses     int64 // scratch scores taken while a parent H_γ existed
 	prefixEvents    int64 // prefix-extension events popped off the heap
-	pruneKills      int64 // extensions pruned because their cap <= k-th score
+	pruneKills      int64 // extensions pruned because their cap < k-th score
 	deferredPairs   int64 // pairs still pending (< q common instances) at flush
 	flushedPairs    int64 // deferred pairs whose bound forced an exact score
 	suppressedPairs int64 // pairs skipped because they are in C
+	probeShards     int64 // probe shards executed (0 on the serial path)
+	shardMergePairs int64 // shard-heap pairs offered to the top-k merge
+}
+
+// fold adds one probe shard's counts into the parent run's block. It is
+// called after the shard pool has joined, in shard-index order, so the
+// folded totals are deterministic for a fixed shard count no matter which
+// worker ran which shard when.
+func (rs *runStats) fold(s *runStats) {
+	rs.scratchScores += s.scratchScores
+	rs.reusedScores += s.reusedScores
+	rs.reuseMisses += s.reuseMisses
+	rs.prefixEvents += s.prefixEvents
+	rs.pruneKills += s.pruneKills
+	rs.deferredPairs += s.deferredPairs
+	rs.flushedPairs += s.flushedPairs
+	rs.suppressedPairs += s.suppressedPairs
+	rs.probeShards += s.probeShards
+	rs.shardMergePairs += s.shardMergePairs
 }
 
 // sink holds the resolved telemetry instruments for one executor run.
@@ -35,6 +54,8 @@ type sink struct {
 	pruneKills             *telemetry.Counter
 	deferred, flushed      *telemetry.Counter
 	suppressed             *telemetry.Counter
+	probeShards            *telemetry.Counter
+	shardMergePairs        *telemetry.Counter
 	configJoins            *telemetry.Counter
 	joinSeconds            *telemetry.Histogram
 	reg                    *telemetry.Registry
@@ -42,18 +63,20 @@ type sink struct {
 
 func newSink(reg *telemetry.Registry) *sink {
 	return &sink{
-		scratch:      reg.Counter("mc_ssjoin_scratch_scores_total"),
-		reused:       reg.Counter("mc_ssjoin_reused_scores_total"),
-		reuseHits:    reg.Counter("mc_ssjoin_reuse_hits_total"),
-		reuseMisses:  reg.Counter("mc_ssjoin_reuse_misses_total"),
-		prefixEvents: reg.Counter("mc_ssjoin_prefix_events_total"),
-		pruneKills:   reg.Counter("mc_ssjoin_prune_kills_total"),
-		deferred:     reg.Counter("mc_ssjoin_deferred_pairs_total"),
-		flushed:      reg.Counter("mc_ssjoin_flushed_pairs_total"),
-		suppressed:   reg.Counter("mc_ssjoin_suppressed_pairs_total"),
-		configJoins:  reg.Counter("mc_ssjoin_config_joins_total"),
-		joinSeconds:  reg.Histogram("mc_ssjoin_join_seconds"),
-		reg:          reg,
+		scratch:         reg.Counter("mc_ssjoin_scratch_scores_total"),
+		reused:          reg.Counter("mc_ssjoin_reused_scores_total"),
+		reuseHits:       reg.Counter("mc_ssjoin_reuse_hits_total"),
+		reuseMisses:     reg.Counter("mc_ssjoin_reuse_misses_total"),
+		prefixEvents:    reg.Counter("mc_ssjoin_prefix_events_total"),
+		pruneKills:      reg.Counter("mc_ssjoin_prune_kills_total"),
+		deferred:        reg.Counter("mc_ssjoin_deferred_pairs_total"),
+		flushed:         reg.Counter("mc_ssjoin_flushed_pairs_total"),
+		suppressed:      reg.Counter("mc_ssjoin_suppressed_pairs_total"),
+		probeShards:     reg.Counter("mc_ssjoin_probe_shards_total"),
+		shardMergePairs: reg.Counter("mc_ssjoin_shard_merge_pairs_total"),
+		configJoins:     reg.Counter("mc_ssjoin_config_joins_total"),
+		joinSeconds:     reg.Histogram("mc_ssjoin_join_seconds"),
+		reg:             reg,
 	}
 }
 
@@ -68,6 +91,8 @@ func (s *sink) record(rs *runStats, dur time.Duration) {
 	s.deferred.Add(rs.deferredPairs)
 	s.flushed.Add(rs.flushedPairs)
 	s.suppressed.Add(rs.suppressedPairs)
+	s.probeShards.Add(rs.probeShards)
+	s.shardMergePairs.Add(rs.shardMergePairs)
 	s.configJoins.Inc()
 	s.joinSeconds.Observe(dur.Seconds())
 }
@@ -88,4 +113,6 @@ func (st *Stats) add(rs *runStats) {
 	atomic.AddInt64(&st.DeferredPairs, rs.deferredPairs)
 	atomic.AddInt64(&st.FlushedPairs, rs.flushedPairs)
 	atomic.AddInt64(&st.SuppressedPairs, rs.suppressedPairs)
+	atomic.AddInt64(&st.ProbeShards, rs.probeShards)
+	atomic.AddInt64(&st.ShardMergePairs, rs.shardMergePairs)
 }
