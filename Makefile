@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet mclint lint vuln fuzz-smoke perf-baseline perf-check parallel-bench
+.PHONY: all build test race vet mclint lint vuln fuzz-smoke perf-baseline perf-check parallel-bench serve-smoke
 
 all: build test
 
@@ -41,6 +41,13 @@ vuln:
 	else \
 		echo "govulncheck not installed; skipped (CI runs golang.org/x/vuln@v1.1.4)"; \
 	fi
+
+# End-to-end smoke for mcserve: builds the binaries, runs a gold-labeled
+# CLI session, replays it over HTTP with a scripted client, byte-compares
+# the two canonical reports, and SIGTERMs the server mid-join to prove
+# the graceful drain (see scripts/smoke_mcserve.sh).
+serve-smoke:
+	bash scripts/smoke_mcserve.sh
 
 fuzz-smoke:
 	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzParse -fuzztime 10s

@@ -31,6 +31,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -59,12 +60,14 @@ func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 type cliOpts struct {
 	aPath, bPath, goldPath string
 	reportPath             string
+	canonical              bool
 	ledgerPath             string
 	traceOut               string
 	traceTree              bool
 	explain                [][2]int
 	explainGold            bool
 	n, k                   int
+	workers                int
 	probeWorkers           int
 	seed                   int64
 	drops, keeps, equals   []string
@@ -72,15 +75,25 @@ type cliOpts struct {
 }
 
 func main() {
+	os.Exit(mainE())
+}
+
+// mainE is main's body returning an exit code, so every path — error
+// exits included — runs the deferred cleanup (in particular the
+// graceful -metrics-addr listener shutdown; a bare os.Exit would leak
+// the socket past the process's accounting and cut scrapes mid-write).
+func mainE() int {
 	var o cliOpts
 	flag.StringVar(&o.aPath, "a", "", "table A CSV path")
 	flag.StringVar(&o.bPath, "b", "", "table B CSV path")
 	flag.StringVar(&o.goldPath, "gold", "", "optional gold CSV (a_row,b_row); labels automatically")
 	flag.IntVar(&o.n, "n", 20, "pairs per iteration")
 	flag.IntVar(&o.k, "k", 1000, "top-k per config")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent config joins (0 = GOMAXPROCS); results are bit-identical at any value")
 	flag.IntVar(&o.probeWorkers, "probe-workers", 1, "goroutines inside each single-config join; results are bit-identical at any value")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.reportPath, "report", "", "write a JSON session report to this path")
+	flag.BoolVar(&o.canonical, "canonical", false, "omit the telemetry snapshot from -report so same-seed runs write byte-identical reports")
 	flag.StringVar(&o.ledgerPath, "ledger", "", "append the session's metrics (recall-vs-iteration series, wall time) to this runlog JSONL ledger")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the session trace as Chrome trace_event JSON to this path")
 	flag.BoolVar(&o.traceTree, "trace-tree", false, "dump the session's span tree to stderr when done")
@@ -105,7 +118,7 @@ func main() {
 		p, err := parseExplain(src)
 		if err != nil {
 			o.log.Error("bad -explain flag", "value", src, "err", err)
-			os.Exit(1)
+			return 1
 		}
 		o.explain = append(o.explain, p)
 	}
@@ -114,16 +127,26 @@ func main() {
 		srv, addr, err := telemetry.Default().Serve(*metricsAddr)
 		if err != nil {
 			o.log.Error("metrics server failed", "err", err)
-			os.Exit(1)
+			return 1
 		}
-		defer srv.Close()
+		// Graceful shutdown on every exit path: finish in-flight scrapes,
+		// then close the listener, instead of leaking the socket to
+		// process teardown.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				srv.Close()
+			}
+		}()
 		o.log.Info("metrics server up", "url", fmt.Sprintf("http://%s/metrics", addr))
 	}
 
 	if err := run(o); err != nil {
 		o.log.Error("session failed", "err", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // parseExplain parses an -explain flag value of the form "a_row,b_row".
@@ -140,35 +163,6 @@ func parseExplain(src string) ([2]int, error) {
 	return [2]int{a, b}, nil
 }
 
-func buildBlocker(drops, keeps, equals []string) (blocker.Blocker, error) {
-	var members []blocker.Blocker
-	for i, src := range drops {
-		e, err := blocker.Parse(src)
-		if err != nil {
-			return nil, err
-		}
-		members = append(members, blocker.DropRule(fmt.Sprintf("drop%d", i), e))
-	}
-	for i, src := range keeps {
-		e, err := blocker.Parse(src)
-		if err != nil {
-			return nil, err
-		}
-		members = append(members, blocker.KeepRule(fmt.Sprintf("keep%d", i), e))
-	}
-	for _, attr := range equals {
-		members = append(members, blocker.NewAttrEquivalence(attr))
-	}
-	switch len(members) {
-	case 0:
-		return nil, fmt.Errorf("no blocker given; use -drop, -keep, or -attr-equal")
-	case 1:
-		return members[0], nil
-	default:
-		return blocker.NewUnion("union", members...), nil
-	}
-}
-
 func run(o cliOpts) error {
 	o.log = telemetry.LoggerOr(o.log)
 	if o.aPath == "" || o.bPath == "" {
@@ -182,7 +176,7 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	q, err := buildBlocker(o.drops, o.keeps, o.equals)
+	q, err := blocker.BuildFromRules(o.drops, o.keeps, o.equals)
 	if err != nil {
 		return err
 	}
@@ -209,14 +203,11 @@ func run(o cliOpts) error {
 	tracer := telemetry.NewTracer(telemetry.Default())
 
 	// The blocker package predates options structs, so its trace and
-	// provenance hooks install process-wide; scope them to the Block call.
+	// provenance hooks install process-wide; BlockScoped confines them to
+	// this one Block call (and serializes against any other scoped call).
 	bsp := tracer.Start("blocker.run", telemetry.L("blocker", q.Name()))
-	blocker.SetTrace(bsp)
-	blocker.SetProvenance(prov)
 	o.log.Info("blocking", "rows_a", a.NumRows(), "rows_b", b.NumRows(), "blocker", q.Name())
-	c, err := q.Block(a, b)
-	blocker.SetTrace(nil)
-	blocker.SetProvenance(nil)
+	c, err := blocker.BlockScoped(q, a, b, bsp, prov)
 	bsp.End()
 	if err != nil {
 		return err
@@ -233,6 +224,7 @@ func run(o cliOpts) error {
 	sessionStart := time.Now()
 	opt := core.Options{Trace: tracer, Logger: o.log, Provenance: prov}
 	opt.Join.K = o.k
+	opt.Join.Workers = o.workers
 	opt.Join.ProbeWorkers = o.probeWorkers
 	opt.Verifier.N = o.n
 	opt.Verifier.Seed = o.seed
@@ -340,7 +332,11 @@ func run(o cliOpts) error {
 		if err != nil {
 			return err
 		}
-		if err := dbg.WriteReport(f); err != nil {
+		write := dbg.WriteReport
+		if o.canonical {
+			write = dbg.WriteCanonicalReport
+		}
+		if err := write(f); err != nil {
 			f.Close()
 			return err
 		}

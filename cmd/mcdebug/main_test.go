@@ -8,29 +8,30 @@ import (
 	"strings"
 	"testing"
 
+	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/runlog"
 	"matchcatcher/internal/telemetry"
 )
 
-func TestBuildBlocker(t *testing.T) {
-	if _, err := buildBlocker(nil, nil, nil); err == nil {
+func TestBuildFromRules(t *testing.T) {
+	if _, err := blocker.BuildFromRules(nil, nil, nil); err == nil {
 		t.Error("want error with no blocker flags")
 	}
-	b, err := buildBlocker([]string{"title_jac_word<0.4"}, nil, nil)
+	b, err := blocker.BuildFromRules([]string{"title_jac_word<0.4"}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b.Name() != "drop0" {
 		t.Errorf("name = %q", b.Name())
 	}
-	u, err := buildBlocker([]string{"title_jac_word<0.4"}, []string{"attr_equal_brand"}, []string{"city"})
+	u, err := blocker.BuildFromRules([]string{"title_jac_word<0.4"}, []string{"attr_equal_brand"}, []string{"city"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if u.Name() != "union" {
 		t.Errorf("union name = %q", u.Name())
 	}
-	if _, err := buildBlocker([]string{"((("}, nil, nil); err == nil {
+	if _, err := blocker.BuildFromRules([]string{"((("}, nil, nil); err == nil {
 		t.Error("want parse error")
 	}
 }

@@ -1,0 +1,113 @@
+// Command mcserve hosts MatchCatcher debugging sessions as a long-lived
+// HTTP/JSON service — the multi-tenant counterpart to mcdebug's one-shot
+// CLI loop. A scripted session walks the same pipeline the CLI walks
+// (upload tables, set a blocker, run the joint top-k joins, page and
+// label candidates, fetch the report) and, for the same seed and
+// options, produces a byte-identical canonical report.
+//
+//	mcserve -addr :8642
+//
+//	curl -s -XPOST localhost:8642/v1/sessions -d '{"seed":1,"k":100,"n":3}'
+//	curl -s -XPUT  --data-binary @A.csv 'localhost:8642/v1/sessions/s000001/tables/a?name=A'
+//	curl -s -XPUT  --data-binary @B.csv 'localhost:8642/v1/sessions/s000001/tables/b?name=B'
+//	curl -s -XPOST localhost:8642/v1/sessions/s000001/blocker -d '{"attr_equals":["City"]}'
+//	curl -s -XPOST localhost:8642/v1/sessions/s000001/join
+//	curl -s -XPOST localhost:8642/v1/sessions/s000001/next
+//	curl -s -XPOST localhost:8642/v1/sessions/s000001/labels -d '{"labels":[true,false,false]}'
+//	curl -s       'localhost:8642/v1/sessions/s000001/report'
+//
+// Operations: /healthz (liveness), /readyz (flips to 503 when draining),
+// /metrics (Prometheus exposition of the server's mc_serve_* series).
+// SIGINT/SIGTERM triggers a graceful shutdown: new sessions are refused,
+// in-flight requests — running joins included — drain within
+// -drain-timeout, surviving sessions are finished and (with -ledger)
+// appended to the runlog ledger.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"matchcatcher/internal/serve"
+	"matchcatcher/internal/telemetry"
+)
+
+func main() {
+	os.Exit(mainE())
+}
+
+func mainE() int {
+	addr := flag.String("addr", ":8642", "listen address")
+	maxSessions := flag.Int("max-sessions", 16, "bound on live sessions; at the bound, creates evict the LRU idle session or get 429")
+	memBudgetMB := flag.Int64("session-mem-mb", 64, "per-session table upload budget in MiB; uploads beyond it get 413")
+	idleTimeout := flag.Duration("idle-timeout", 15*time.Minute, "evict sessions idle this long (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request deadline; cancels in-flight joins")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for draining in-flight requests")
+	ledgerPath := flag.String("ledger", "", "append one runlog record per completed session to this JSONL ledger")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := telemetry.NewLogger(os.Stderr, level)
+
+	srv := serve.New(serve.Options{
+		MaxSessions:      *maxSessions,
+		SessionMemBudget: *memBudgetMB << 20,
+		IdleTimeout:      *idleTimeout,
+		RequestTimeout:   *requestTimeout,
+		LedgerPath:       *ledgerPath,
+		Logger:           log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Info("mcserve up",
+		"url", fmt.Sprintf("http://%s", ln.Addr()),
+		"max_sessions", *maxSessions, "session_mem_mb", *memBudgetMB)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Info("shutdown signal received; draining")
+	case err := <-errc:
+		log.Error("server failed", "err", err)
+		srv.Close()
+		return 1
+	}
+
+	// Graceful shutdown: stop admitting (readyz -> 503), drain in-flight
+	// requests — a running join is cancelled only if the drain budget
+	// expires — then finish surviving sessions and flush the ledger.
+	srv.BeginShutdown()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("drain incomplete; closing", "err", err)
+		httpSrv.Close()
+	}
+	srv.Close()
+	log.Info("mcserve stopped")
+	return 0
+}

@@ -7,6 +7,43 @@ import (
 	"matchcatcher/internal/tokenize"
 )
 
+// BuildFromRules assembles the blocker a CLI or API request describes:
+// each drops entry parses as a Magellan-style kill rule (named drop0,
+// drop1, ...), each keeps entry as a keep rule (keep0, ...), each
+// equals entry as an attribute-equivalence blocker, and multiple
+// members combine as a union named "union". It is the one construction
+// path mcdebug and mcserve share, so a scripted HTTP session and a CLI
+// session given the same rule strings build blockers with the same
+// names — names the canonical session report embeds.
+func BuildFromRules(drops, keeps, equals []string) (Blocker, error) {
+	var members []Blocker
+	for i, src := range drops {
+		e, err := Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, DropRule(fmt.Sprintf("drop%d", i), e))
+	}
+	for i, src := range keeps {
+		e, err := Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, KeepRule(fmt.Sprintf("keep%d", i), e))
+	}
+	for _, attr := range equals {
+		members = append(members, NewAttrEquivalence(attr))
+	}
+	switch len(members) {
+	case 0:
+		return nil, fmt.Errorf("no blocker given; use a drop, keep, or attr-equal rule")
+	case 1:
+		return members[0], nil
+	default:
+		return NewUnion("union", members...), nil
+	}
+}
+
 // NewOverlap returns an overlap blocker keeping pairs whose values of attr
 // share at least minCount tokens under tok.
 func NewOverlap(attr string, tok tokenize.Tokenizer, minCount int) *Rule {

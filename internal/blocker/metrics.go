@@ -2,8 +2,10 @@ package blocker
 
 import (
 	"strconv"
+	"sync"
 	"sync/atomic"
 
+	"matchcatcher/internal/table"
 	"matchcatcher/internal/telemetry"
 )
 
@@ -31,6 +33,30 @@ func SetTrace(s *telemetry.TraceSpan) { traceParent.Store(s) }
 // SetProvenance installs a provenance recorder: every Block call records
 // a kept/dropped decision for each watched pair. Nil disables.
 func SetProvenance(p *telemetry.Provenance) { provenance.Store(p) }
+
+// hookMu serializes BlockScoped calls: the trace and provenance hooks
+// are package-level (blockers predate options structs), so two sessions
+// blocking concurrently with scoped hooks would cross-wire their spans
+// and lineages. Holding the mutex for the duration of the Block call
+// trades blocking throughput for isolation; the join — the debugger's
+// dominant cost — is unaffected.
+var hookMu sync.Mutex
+
+// BlockScoped runs q.Block with the package-level trace and provenance
+// hooks pointed at this call's span and recorder, restoring them to nil
+// afterwards. Calls are serialized against each other so concurrent
+// sessions cannot contaminate each other's traces or watch-lists — the
+// hook-scoping discipline mcdebug pioneered, made safe for a
+// session-hosting server. Either hook may be nil.
+func BlockScoped(q Blocker, a, b *table.Table, span *telemetry.TraceSpan, prov *telemetry.Provenance) (*PairSet, error) {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	SetTrace(span)
+	SetProvenance(prov)
+	defer SetTrace(nil)
+	defer SetProvenance(nil)
+	return q.Block(a, b)
+}
 
 // blockObs is the per-Block observation handle returned by startBlock.
 type blockObs struct {

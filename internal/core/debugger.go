@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	"matchcatcher/internal/blocker"
@@ -29,6 +30,12 @@ type Options struct {
 	Config   config.Options
 	Join     ssjoin.Options
 	Verifier ranker.Options
+	// Ctx cancels pipeline construction: New threads it into the joint
+	// executor (ssjoin.Options.Ctx), so a request timeout or a client
+	// disconnect aborts the joins at their next cancellation check and
+	// New returns the context's error instead of a half-built session.
+	// Nil means no cancellation (context.Background()).
+	Ctx context.Context
 	// Metrics receives pipeline telemetry (stage latencies, per-iteration
 	// wall time, size gauges) and is propagated to the join and verifier
 	// stages unless they carry their own registry. Nil selects
@@ -54,6 +61,15 @@ type Options struct {
 }
 
 // Debugger is one debugging session for a blocker's output.
+//
+// A Debugger is safe to drive from multiple goroutines: all mutable
+// session state (the verifier's pool, the iteration spans, the finish
+// flag) lives under one mutex — one lock domain per session, the unit
+// of isolation a session-hosting server needs. The immutable pipeline
+// products built by New (tables, corpus, config tree, join lists) are
+// read without the lock. Methods still form one logical conversation
+// (Next then Feedback), so concurrent *drivers* of the same session
+// interleave safely but see each other's iterations.
 type Debugger struct {
 	a, b *table.Table
 	c    *blocker.PairSet
@@ -64,13 +80,16 @@ type Debugger struct {
 	ext   *feature.Extractor
 	verif *ranker.Verifier
 
-	reg       *telemetry.Registry
-	tracer    *telemetry.Tracer
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	log    *slog.Logger
+	prov   *telemetry.Provenance
+
+	mu        sync.Mutex           // the session's lock domain
 	session   *telemetry.TraceSpan // root span of the whole session
 	iterSpan  *telemetry.TraceSpan // current debug.iteration span
-	log       *slog.Logger
-	prov      *telemetry.Provenance
-	iterStart time.Time // set by Next, consumed by Feedback
+	iterStart time.Time            // set by Next, consumed by Feedback
+	finished  bool                 // Finish called (idempotent)
 }
 
 // New builds a debugging session: it generates configs, runs the joint
@@ -93,11 +112,18 @@ func New(a, b *table.Table, c *blocker.PairSet, opt Options) (*Debugger, error) 
 	}
 	logg := telemetry.LoggerOr(opt.Logger)
 	prov := opt.Provenance
+	base := opt.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	if opt.Join.Ctx == nil {
+		opt.Join.Ctx = base
+	}
 
 	session := tracer.Start("debug.session",
 		telemetry.L("table_a", a.Name()),
 		telemetry.L("table_b", b.Name()))
-	ctx := telemetry.ContextWithSpan(context.Background(), session)
+	ctx := telemetry.ContextWithSpan(base, session)
 
 	csp := session.Child("config.generate")
 	res, err := config.Generate(a, b, opt.Config)
@@ -124,6 +150,11 @@ func New(a, b *table.Table, c *blocker.PairSet, opt Options) (*Debugger, error) 
 	join := ssjoin.JoinAll(cor, c, opt.Join)
 	jsp.SetAttrInt("configs", int64(len(join.Lists)))
 	jsp.End()
+	if err := base.Err(); err != nil {
+		// The joins aborted mid-flight; their lists are partial garbage.
+		session.End()
+		return nil, fmt.Errorf("core: join cancelled: %w", err)
+	}
 	logg.InfoContext(ctx, "joins complete",
 		"configs", len(join.Lists),
 		"scratch_scores", join.Stats.ScratchScores,
@@ -166,6 +197,17 @@ func (d *Debugger) JoinStats() ssjoin.Stats { return d.join.Stats }
 // CandidateCount returns |E|, the number of distinct pairs across lists.
 func (d *Debugger) CandidateCount() int { return d.verif.NumCandidates() }
 
+// Ranking returns the verifier's current ranked view of the unlabeled
+// candidate pool — the aggregate bootstrap order before the learner has
+// both classes, the model's confidence order after. It re-sorts after
+// every Feedback, so it is the "updated ranking" a session host pages
+// through between iterations. The slice is the caller's to keep.
+func (d *Debugger) Ranking() []blocker.Pair {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.verif.Ranking()
+}
+
 // Candidates returns E as a pair set.
 func (d *Debugger) Candidates() *blocker.PairSet {
 	e := blocker.NewPairSet()
@@ -182,6 +224,11 @@ func (d *Debugger) Candidates() *blocker.PairSet {
 // Each Next opens a debug.iteration trace span; the matching Feedback
 // closes it, so every round is one subtree under debug.session.
 func (d *Debugger) Next() []blocker.Pair {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.finished {
+		return nil
+	}
 	d.iterStart = time.Now()
 	if d.iterSpan == nil && !d.verif.Done() {
 		d.iterSpan = d.session.Child("debug.iteration")
@@ -197,6 +244,11 @@ func (d *Debugger) Next() []blocker.Pair {
 // One Next+Feedback round is one debugging iteration; its wall time rolls
 // up into mc_core_iteration_seconds.
 func (d *Debugger) Feedback(labels []bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.finished {
+		return fmt.Errorf("core: Feedback after Finish")
+	}
 	before := len(d.verif.Matches())
 	err := d.verif.Feedback(labels)
 	if err == nil {
@@ -222,14 +274,35 @@ func (d *Debugger) Feedback(labels []bool) error {
 	return err
 }
 
-// Finish ends the session's root trace span (idempotent). Call it when
-// the interactive loop is over, before exporting the trace.
+// Finish ends the session's root trace span. Call it when the
+// interactive loop is over, before exporting the trace. Finish is
+// idempotent: a second call (a server draining sessions it already
+// closed, a CLI's deferred cleanup after an explicit Finish) is a
+// no-op, and Next/Feedback after Finish are refused rather than
+// re-opening spans under an ended session root.
 func (d *Debugger) Finish() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.finishLocked()
+}
+
+func (d *Debugger) finishLocked() {
+	if d.finished {
+		return
+	}
+	d.finished = true
 	// No nil guard: TraceSpan methods are nil-safe no-ops (mclint's
 	// spanend analyzer flags redundant guards like the one this had).
 	d.iterSpan.End()
 	d.iterSpan = nil
 	d.session.End()
+}
+
+// Finished reports whether Finish has been called.
+func (d *Debugger) Finished() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.finished
 }
 
 // Trace returns the session's tracer (never nil): export its tree with
@@ -243,13 +316,26 @@ func (d *Debugger) Session() *telemetry.TraceSpan { return d.session }
 func (d *Debugger) Provenance() *telemetry.Provenance { return d.prov }
 
 // Done reports whether the stopping condition has been reached.
-func (d *Debugger) Done() bool { return d.verif.Done() }
+func (d *Debugger) Done() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.verif.Done()
+}
 
-// Matches returns the killed-off true matches confirmed so far.
-func (d *Debugger) Matches() []blocker.Pair { return d.verif.Matches() }
+// Matches returns the killed-off true matches confirmed so far, as a
+// copy the caller may keep across further iterations.
+func (d *Debugger) Matches() []blocker.Pair {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]blocker.Pair(nil), d.verif.Matches()...)
+}
 
 // Iterations returns the number of completed feedback rounds.
-func (d *Debugger) Iterations() int { return d.verif.Iterations() }
+func (d *Debugger) Iterations() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.verif.Iterations()
+}
 
 // Run drives the session to completion with a labeling function (e.g. the
 // synthetic user oracle). It routes through the debugger's own Next and

@@ -39,6 +39,13 @@ func (d *Debugger) WriteExplainReport(w io.Writer) error {
 	return nil
 }
 
+// WriteExplainPair renders one pair's lineage and diagnosis — the unit
+// WriteExplainReport loops over — so a session host can serve a single
+// pair's provenance on demand without rendering the whole watch-list.
+func (d *Debugger) WriteExplainPair(w io.Writer, a, b int) error {
+	return d.writePairLineage(w, a, b)
+}
+
 func (d *Debugger) writePairLineage(w io.Writer, a, b int) error {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "\npair (%d, %d)\n", a, b)

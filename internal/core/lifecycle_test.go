@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"matchcatcher/internal/ranker"
+	"matchcatcher/internal/telemetry"
+)
+
+// TestFinishIdempotent: a server draining a session a client already
+// finished calls Finish twice; the second call must be a no-op, and
+// Next/Feedback after Finish must refuse instead of reopening spans
+// under an ended root.
+func TestFinishIdempotent(t *testing.T) {
+	a, b, c, _ := figure1(t)
+	reg := telemetry.New()
+	d, err := New(a, b, c, Options{Metrics: reg, Verifier: ranker.Options{N: 3, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Finished() {
+		t.Fatal("fresh session reports Finished")
+	}
+	d.Finish()
+	if !d.Finished() {
+		t.Fatal("Finish did not mark the session finished")
+	}
+	d.Finish() // must not panic or double-End the root span
+	if got := d.Next(); got != nil {
+		t.Errorf("Next after Finish = %v, want nil", got)
+	}
+	if err := d.Feedback([]bool{true}); err == nil {
+		t.Error("Feedback after Finish: want error, got nil")
+	} else if !strings.Contains(err.Error(), "after Finish") {
+		t.Errorf("Feedback after Finish: err = %v", err)
+	}
+	// The report still renders on a finished session.
+	var buf bytes.Buffer
+	if err := d.WriteCanonicalReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewCancelled: a cancelled context must abort pipeline construction
+// with the context's error rather than returning a half-built session.
+func TestNewCancelled(t *testing.T) {
+	a, b, c, _ := figure1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(a, b, c, Options{
+		Ctx:     ctx,
+		Metrics: telemetry.Disabled(),
+	})
+	if err == nil {
+		t.Fatal("New with a cancelled context: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("err = %v, want a join-cancelled error", err)
+	}
+}
+
+// TestConcurrentDrivers: the one-lock-domain-per-session contract. Many
+// goroutines interleave Next/Feedback with read accessors and redundant
+// Finish calls on one Debugger; under -race this must be clean, and the
+// session must end in a consistent finished state.
+func TestConcurrentDrivers(t *testing.T) {
+	a, b, c, gold := figure1(t)
+	d, err := New(a, b, c, Options{
+		Metrics:  telemetry.New(),
+		Verifier: ranker.Options{N: 3, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20 && !d.Done(); i++ {
+				pairs := d.Next()
+				if len(pairs) == 0 {
+					return
+				}
+				labels := make([]bool, len(pairs))
+				for j, p := range pairs {
+					labels[j] = gold.Contains(p.A, p.B)
+				}
+				// A racing driver may have answered a different batch
+				// first; a size-mismatch error is fine, a panic is not.
+				_ = d.Feedback(labels)
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = d.Ranking()
+				_ = d.Matches()
+				_ = d.Iterations()
+				_ = d.CanonicalReport()
+			}
+		}()
+	}
+	wg.Wait()
+	d.Finish()
+	d.Finish()
+	if !d.Finished() {
+		t.Error("session not finished")
+	}
+}

@@ -46,7 +46,28 @@ type Report struct {
 }
 
 // Report summarizes the session so far (typically called once Done).
+// The whole summary is assembled under the session lock, so a report
+// taken while another goroutine drives the session is a consistent cut,
+// never half an iteration.
 func (d *Debugger) Report() Report {
+	return d.report(true)
+}
+
+// CanonicalReport is Report without the telemetry snapshot. Everything
+// left — the ranked matches, provenance lineage, join statistics — is a
+// pure function of (tables, blocker output, seed, join options), so two
+// same-seed sessions produce byte-identical canonical reports no matter
+// which transport drove them (CLI loop or HTTP session) and no matter
+// how fast the machine ran. The full Report adds wall-clock histograms
+// and is correspondingly non-reproducible byte-for-byte.
+func (d *Debugger) CanonicalReport() Report {
+	return d.report(false)
+}
+
+func (d *Debugger) report(telemetrySnapshot bool) Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	matches := d.verif.Matches()
 	r := Report{
 		TableA:      d.a.Name(),
 		TableB:      d.b.Name(),
@@ -55,16 +76,18 @@ func (d *Debugger) Report() Report {
 		BlockerOut:  d.c.Len(),
 		Promising:   d.res.Promising,
 		Configs:     len(d.join.Lists),
-		Candidates:  d.CandidateCount(),
-		Iterations:  d.Iterations(),
-		TopProblems: d.TopProblems(d.Matches(), 5),
+		Candidates:  d.verif.NumCandidates(),
+		Iterations:  d.verif.Iterations(),
+		TopProblems: d.TopProblems(matches, 5),
 		JoinStats:   d.join.Stats,
-		Telemetry:   d.reg.Snapshot(),
+	}
+	if telemetrySnapshot {
+		r.Telemetry = d.reg.Snapshot()
 	}
 	if d.prov.Active() {
 		r.Provenance = d.prov.Traces()
 	}
-	for _, m := range d.Matches() {
+	for _, m := range matches {
 		r.Matches = append(r.Matches, MatchReport{
 			ARow:    m.A,
 			BRow:    m.B,
@@ -78,7 +101,18 @@ func (d *Debugger) Report() Report {
 
 // WriteReport writes the session report as indented JSON.
 func (d *Debugger) WriteReport(w io.Writer) error {
+	return writeReportJSON(w, d.Report())
+}
+
+// WriteCanonicalReport writes the telemetry-free canonical report as
+// indented JSON — the byte-stable artifact the serve/CLI determinism
+// tests diff.
+func (d *Debugger) WriteCanonicalReport(w io.Writer) error {
+	return writeReportJSON(w, d.CanonicalReport())
+}
+
+func writeReportJSON(w io.Writer, r Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(d.Report())
+	return enc.Encode(r)
 }

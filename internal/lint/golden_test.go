@@ -34,6 +34,15 @@ func TestMetricNameReservedGolden(t *testing.T) {
 	linttest.Run(t, lint.MetricNameAnalyzer, "testdata/src/telemetry")
 }
 
+// TestMetricNameServeScopedGolden runs the analyzer over a fixture
+// whose import path ends in "/serve": the path-scoped mc_serve_*
+// namespace must be accepted there (and only there — the metricname
+// fixture above proves the rejection side), with the package-segment
+// and reserved-namespace rules still enforced.
+func TestMetricNameServeScopedGolden(t *testing.T) {
+	linttest.Run(t, lint.MetricNameAnalyzer, "testdata/src/serve")
+}
+
 func TestSpanEndGolden(t *testing.T) {
 	linttest.Run(t, lint.SpanEndAnalyzer, "testdata/src/spanend")
 }

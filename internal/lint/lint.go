@@ -114,6 +114,19 @@ func isTelemetryPkg(path string) bool {
 	return path == "telemetry" || strings.HasSuffix(path, "/telemetry")
 }
 
+// servePath is the canonical import path of the HTTP service package,
+// the sole owner of the mc_serve_* metric namespace.
+const servePath = "matchcatcher/internal/serve"
+
+// isServePkg reports whether path names the serve package (same suffix
+// rule as isTelemetryPkg, so fixtures can stub it).
+func isServePkg(path string) bool {
+	if path == servePath {
+		return true
+	}
+	return path == "serve" || strings.HasSuffix(path, "/serve")
+}
+
 // floatsPath is the canonical import path of the approved float
 // comparison helpers.
 const floatsPath = "matchcatcher/internal/floats"

@@ -17,7 +17,8 @@ var MetricNameAnalyzer = &Analyzer{
 	Name: "metricname",
 	Doc: "metric names must be compile-time constants matching mc_<pkg>_<name> " +
 		"with <pkg> equal to the registering package's name; the mc_runtime_* " +
-		"and mc_build_* namespaces are reserved for the telemetry package",
+		"and mc_build_* namespaces are reserved for the telemetry package, and " +
+		"mc_serve_* is scoped by import path to internal/serve",
 	Run: runMetricName,
 }
 
@@ -31,6 +32,17 @@ var metricNameRE = regexp.MustCompile(`^mc_([a-z0-9]+)_([a-z0-9_]+)$`)
 var reservedMetricNamespaces = map[string]bool{
 	"runtime": true,
 	"build":   true,
+}
+
+// pathScopedMetricNamespaces are namespace segments tied to one
+// specific package by import path, not merely by package name:
+// mc_serve_* belongs to the HTTP service layer (internal/serve), whose
+// series operational dashboards and alerts key on, so they must be
+// emitted from exactly one place. The ordinary mc_<pkg>_<name> rule
+// would admit any package that happens to be named "serve"; the path
+// scope closes that hole.
+var pathScopedMetricNamespaces = map[string]func(path string) bool{
+	"serve": isServePkg,
 }
 
 // registrationMethods are the Registry methods (and same-named
@@ -81,6 +93,14 @@ func runMetricName(pass *Pass) error {
 				if !isTelemetryPkg(pass.Pkg.Path()) {
 					pass.Reportf(arg.Pos(),
 						"metric namespace mc_%s_* is reserved for the telemetry package's process-wide series; package %q must use mc_%s_*", m[1], pass.Pkg.Name(), pass.Pkg.Name())
+				}
+				return true
+			}
+			if owns, scoped := pathScopedMetricNamespaces[m[1]]; scoped {
+				if !owns(pass.Pkg.Path()) {
+					pass.Reportf(arg.Pos(),
+						"metric namespace mc_%s_* is scoped to internal/%s by import path; package %q (%s) must use mc_%s_*",
+						m[1], m[1], pass.Pkg.Name(), pass.Pkg.Path(), pass.Pkg.Name())
 				}
 				return true
 			}

@@ -25,4 +25,9 @@ func register(r *telemetry.Registry, dyn string) {
 	r.Gauge("mc_runtime_goroutines") // want "reserved"
 	r.Gauge("mc_build_info")         // want "reserved"
 	r.Counter("mc_build_cache_hits") // want "reserved"
+
+	// mc_serve_* is scoped to internal/serve by import path, a stronger
+	// rule than package-name equality: this fires on the path, so even a
+	// package named "serve" living elsewhere could not claim it.
+	r.Counter("mc_serve_requests_total") // want "scoped to internal/serve"
 }

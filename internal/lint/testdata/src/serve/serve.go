@@ -1,0 +1,18 @@
+// Package serve is the path-scoped-namespace fixture for the
+// metricname analyzer: the fixture's import path ends in "/serve", so
+// isServePkg treats it as the HTTP service package and the mc_serve_*
+// registrations must be accepted — while the ordinary mc_<pkg>_<name>
+// rule and the reserved process-wide namespaces still apply.
+package serve
+
+import real "matchcatcher/internal/telemetry"
+
+func register(r *real.Registry) {
+	// The path-scoped namespace: allowed here, and only here.
+	r.Counter("mc_serve_requests_total", real.L("route", "join"))
+	r.Histogram("mc_serve_request_seconds")
+	r.Gauge("mc_serve_sessions_live")
+
+	r.Gauge("mc_other_thing")        // want "claims package segment \"other\""
+	r.Gauge("mc_runtime_goroutines") // want "reserved"
+}

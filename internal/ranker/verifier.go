@@ -204,6 +204,52 @@ func (v *Verifier) SetTraceParent(s *telemetry.TraceSpan) { v.trace = s }
 // NumCandidates returns |E|, the number of distinct candidate pairs.
 func (v *Verifier) NumCandidates() int { return len(v.ids) }
 
+// Ranking returns the current ranked view of the unlabeled candidate
+// pool. Before the learner has seen both classes (and always in WMR
+// mode) it is the aggregated bootstrap order; afterwards pairs are
+// ordered by the forest's positive confidence, ties broken by pool
+// index — the same order Next's confident phase consumes. Its only
+// side effect is lazily training the seed-deterministic forest that
+// the next Next would train anyway, so a caller may page through the
+// ranking between iterations without perturbing the session's
+// trajectory (the same-seed report stays byte-identical whether or not
+// Ranking was ever called).
+func (v *Verifier) Ranking() []blocker.Pair {
+	if v.opt.Mode == ModeWMR || !v.haveMatch || !v.haveNon {
+		out := make([]blocker.Pair, 0, len(v.ids)-len(v.labeled))
+		for _, p := range v.order {
+			idx := v.byID[pairID(int32(p.A), int32(p.B))]
+			if _, done := v.labeled[idx]; !done {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	v.ensureForest()
+	type scored struct {
+		idx  int
+		conf float64
+	}
+	ranked := make([]scored, 0, len(v.ids)-len(v.labeled))
+	for i := range v.ids {
+		if _, done := v.labeled[i]; done {
+			continue
+		}
+		ranked = append(ranked, scored{i, v.forest.Confidence(v.vec(i))})
+	}
+	sort.Slice(ranked, func(x, y int) bool {
+		if !floats.Equal(ranked[x].conf, ranked[y].conf) {
+			return ranked[x].conf > ranked[y].conf
+		}
+		return ranked[x].idx < ranked[y].idx
+	})
+	out := make([]blocker.Pair, len(ranked))
+	for i, s := range ranked {
+		out[i] = idPair(v.ids[s.idx])
+	}
+	return out
+}
+
 // Iterations returns the number of completed Feedback rounds.
 func (v *Verifier) Iterations() int { return v.iter }
 

@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/core"
+	"matchcatcher/internal/table"
+	"matchcatcher/internal/telemetry"
+)
+
+// Sentinel errors the admission path maps to status codes.
+var (
+	errDraining = errors.New("server is draining")
+	errBusy     = errors.New("session table full and every session is busy")
+)
+
+// The wire types. Every request body is JSON except table uploads,
+// whose body is the raw CSV.
+
+type createSessionRequest struct {
+	Seed         int64    `json:"seed"`
+	K            int      `json:"k"`
+	N            int      `json:"n"`
+	Workers      int      `json:"workers"`
+	ProbeWorkers int      `json:"probe_workers"`
+	Watch        [][2]int `json:"watch"`
+}
+
+type sessionInfo struct {
+	ID           string `json:"id"`
+	State        string `json:"state"`
+	Seed         int64  `json:"seed"`
+	K            int    `json:"k"`
+	N            int    `json:"n"`
+	MemUsedBytes int64  `json:"mem_used_bytes"`
+	Iterations   int    `json:"iterations"`
+	MatchesFound int    `json:"matches_found"`
+	Done         bool   `json:"done"`
+}
+
+type blockerRequest struct {
+	Drops      []string `json:"drops"`
+	Keeps      []string `json:"keeps"`
+	AttrEquals []string `json:"attr_equals"`
+}
+
+type pairJSON struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+type shownPair struct {
+	A       int      `json:"a"`
+	B       int      `json:"b"`
+	ValuesA []string `json:"values_a"`
+	ValuesB []string `json:"values_b"`
+}
+
+type labelsRequest struct {
+	Labels []bool `json:"labels"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg := sessionConfig{
+		Seed: req.Seed, K: req.K, N: req.N,
+		Workers: req.Workers, ProbeWorkers: req.ProbeWorkers,
+		Watch: req.Watch,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.K == 0 {
+		cfg.K = 1000
+	}
+	if cfg.N == 0 {
+		cfg.N = 20
+	}
+	for _, p := range cfg.Watch {
+		if p[0] < 0 || p[1] < 0 {
+			writeError(w, http.StatusBadRequest, "watch pairs must be non-negative row ids")
+			return
+		}
+	}
+	sess, err := s.admit(cfg)
+	switch {
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	s.log.Info("session created", "session", sess.id, "seed", cfg.Seed, "k", cfg.K, "n", cfg.N)
+	writeJSON(w, http.StatusCreated, s.infoFor(sess))
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	infos := make([]sessionInfo, len(sessions))
+	for i, sess := range sessions {
+		infos[i] = s.infoFor(sess)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) infoFor(sess *session) sessionInfo {
+	info := sessionInfo{
+		ID: sess.id, State: sess.state(),
+		Seed: sess.cfg.Seed, K: sess.cfg.K, N: sess.cfg.N,
+	}
+	sess.mu.Lock()
+	info.MemUsedBytes = sess.memUsed
+	dbg := sess.dbg
+	sess.mu.Unlock()
+	if dbg != nil {
+		info.Iterations = dbg.Iterations()
+		info.MatchesFound = len(dbg.Matches())
+		info.Done = dbg.Done()
+	}
+	return info
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request, sess *session) {
+	writeJSON(w, http.StatusOK, s.infoFor(sess))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request, sess *session) {
+	s.remove(sess.id)
+	s.closeSession(sess, "deleted")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUploadTable(w http.ResponseWriter, r *http.Request, sess *session) {
+	side := r.PathValue("side")
+	if side != "a" && side != "b" {
+		writeError(w, http.StatusNotFound, "table side must be \"a\" or \"b\"")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = side
+	}
+	sess.mu.Lock()
+	joined := sess.dbg != nil || sess.joining
+	remaining := s.opt.SessionMemBudget - sess.memUsed
+	sess.mu.Unlock()
+	if joined {
+		writeError(w, http.StatusConflict, "session already joined; tables are frozen")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, remaining))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.reg.Counter("mc_serve_budget_rejected_total").Inc()
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("upload exceeds the session's remaining memory budget (%d bytes left)", remaining))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	t, err := table.ReadCSV(name, bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess.mu.Lock()
+	if sess.dbg != nil || sess.joining {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, "session already joined; tables are frozen")
+		return
+	}
+	if side == "a" {
+		sess.a = t
+	} else {
+		sess.b = t
+	}
+	sess.memUsed += int64(len(body))
+	sess.mu.Unlock()
+	telemetry.SpanFromContext(r.Context()).SetAttrInt("bytes", int64(len(body)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table": t.Name(), "rows": t.NumRows(), "attrs": t.Attrs(),
+	})
+}
+
+func (s *Server) handleSetBlocker(w http.ResponseWriter, r *http.Request, sess *session) {
+	var req blockerRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess.mu.Lock()
+	a, b := sess.a, sess.b
+	joined := sess.dbg != nil || sess.joining
+	sess.mu.Unlock()
+	if joined {
+		writeError(w, http.StatusConflict, "session already joined; the blocker is frozen")
+		return
+	}
+	if a == nil || b == nil {
+		writeError(w, http.StatusConflict, "upload both tables before setting a blocker")
+		return
+	}
+	q, err := blocker.BuildFromRules(req.Drops, req.Keeps, req.AttrEquals)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The blocker package's trace/provenance hooks are process-wide;
+	// BlockScoped serializes concurrent sessions over them.
+	bsp := telemetry.SpanFromContext(r.Context()).Child("blocker.run", telemetry.L("blocker", q.Name()))
+	c, err := blocker.BlockScoped(q, a, b, bsp, sess.prov)
+	bsp.End()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sess.mu.Lock()
+	if sess.dbg != nil || sess.joining {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, "session already joined; the blocker is frozen")
+		return
+	}
+	sess.q, sess.c = q, c
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"blocker": q.Name(), "c_size": c.Len()})
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, sess *session) {
+	sess.mu.Lock()
+	if sess.dbg != nil || sess.joining {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, "session already joined")
+		return
+	}
+	if sess.c == nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, "set a blocker before joining")
+		return
+	}
+	sess.joining = true
+	a, b, c := sess.a, sess.b, sess.c
+	sess.mu.Unlock()
+	defer func() {
+		sess.mu.Lock()
+		sess.joining = false
+		sess.mu.Unlock()
+	}()
+
+	opt := core.Options{
+		Ctx:        r.Context(),
+		Metrics:    sess.reg,
+		Trace:      sess.tracer,
+		Logger:     sess.log,
+		Provenance: sess.prov,
+	}
+	opt.Join.K = sess.cfg.K
+	opt.Join.Workers = sess.cfg.Workers
+	opt.Join.ProbeWorkers = sess.cfg.ProbeWorkers
+	opt.Verifier.N = sess.cfg.N
+	opt.Verifier.Seed = sess.cfg.Seed
+	dbg, err := core.New(a, b, c, opt)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	sess.mu.Lock()
+	sess.dbg = dbg
+	sess.joinedAt = time.Now()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promising_attrs": dbg.Configs().Promising,
+		"configs":         len(dbg.Lists()),
+		"e_size":          dbg.CandidateCount(),
+	})
+}
+
+// requireDebugger fetches the session's Debugger or answers 409.
+func requireDebugger(w http.ResponseWriter, sess *session) (*core.Debugger, bool) {
+	dbg := sess.debugger()
+	if dbg == nil {
+		writeError(w, http.StatusConflict, "run the join first")
+		return nil, false
+	}
+	return dbg, true
+}
+
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request, sess *session) {
+	dbg, ok := requireDebugger(w, sess)
+	if !ok {
+		return
+	}
+	offset := intQuery(r, "offset", 0)
+	limit := intQuery(r, "limit", 50)
+	if offset < 0 || limit <= 0 || limit > 1000 {
+		writeError(w, http.StatusBadRequest, "want offset >= 0 and 0 < limit <= 1000")
+		return
+	}
+	ranking := dbg.Ranking()
+	total := len(ranking)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	pairs := make([]pairJSON, 0, end-offset)
+	for _, p := range ranking[offset:end] {
+		pairs = append(pairs, pairJSON{A: p.A, B: p.B})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total": total, "offset": offset, "pairs": pairs,
+	})
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, sess *session) {
+	dbg, ok := requireDebugger(w, sess)
+	if !ok {
+		return
+	}
+	if dbg.Finished() {
+		writeError(w, http.StatusConflict, "session is finished")
+		return
+	}
+	batch := dbg.Next()
+	pairs := make([]shownPair, 0, len(batch))
+	for _, p := range batch {
+		pairs = append(pairs, shownPair{
+			A: p.A, B: p.B,
+			ValuesA: dbg.RowA(p.A), ValuesB: dbg.RowB(p.B),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"iteration": dbg.Iterations() + 1,
+		"pairs":     pairs,
+		"done":      len(batch) == 0,
+	})
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request, sess *session) {
+	dbg, ok := requireDebugger(w, sess)
+	if !ok {
+		return
+	}
+	var req labelsRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := dbg.Feedback(req.Labels); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"iterations":    dbg.Iterations(),
+		"matches_found": len(dbg.Matches()),
+		"done":          dbg.Done(),
+	})
+}
+
+func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request, sess *session) {
+	dbg, ok := requireDebugger(w, sess)
+	if !ok {
+		return
+	}
+	dbg.Finish()
+	sess.mu.Lock()
+	err := s.recordLocked(sess)
+	sess.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("ledger append: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"iterations":    dbg.Iterations(),
+		"matches_found": len(dbg.Matches()),
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, sess *session) {
+	dbg, ok := requireDebugger(w, sess)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Canonical (telemetry-free) by default: byte-identical across
+	// same-seed runs and transports. ?telemetry=1 adds this session
+	// registry's snapshot, which carries wall-clock histograms.
+	var err error
+	if r.URL.Query().Get("telemetry") == "1" {
+		err = dbg.WriteReport(w)
+	} else {
+		err = dbg.WriteCanonicalReport(w)
+	}
+	if err != nil {
+		s.log.Error("report write failed", "session", sess.id, "err", err)
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, sess *session) {
+	dbg, ok := requireDebugger(w, sess)
+	if !ok {
+		return
+	}
+	a := intQuery(r, "a", -1)
+	b := intQuery(r, "b", -1)
+	if a < 0 || b < 0 {
+		writeError(w, http.StatusBadRequest, "want ?a=<a_row>&b=<b_row>")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := dbg.WriteExplainPair(w, a, b); err != nil {
+		s.log.Error("explain write failed", "session", sess.id, "err", err)
+	}
+}
+
+// decodeJSON decodes a request body, tolerating an empty body (all
+// fields default) but rejecting unknown fields and trailing garbage.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("bad request body: trailing data")
+	}
+	return nil
+}
+
+func intQuery(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return -1
+	}
+	return n
+}

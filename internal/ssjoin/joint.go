@@ -1,6 +1,7 @@
 package ssjoin
 
 import (
+	"context"
 	"runtime"
 	"strconv"
 	"sync"
@@ -19,6 +20,14 @@ const AutoQ = -1
 
 // Options tunes the joins.
 type Options struct {
+	// Ctx, when non-nil, cancels the run: once the context is done every
+	// in-flight probe loop aborts at its next cancellation check and
+	// JoinAll/JoinOne return promptly. A cancelled run's lists are
+	// partial garbage — callers must check Ctx.Err() before using the
+	// result (core.New does). This is how a server threads request
+	// timeouts into the join without polluting the exact hot path: the
+	// cancellation flag is the same atomic the q-selection race uses.
+	Ctx context.Context
 	// K is the per-config list size (the paper's experiments use 1000).
 	K int
 	// Measure is the set similarity (default Jaccard, the paper's choice).
@@ -190,6 +199,26 @@ func makeShardScorer(cor *Corpus, mask config.Mask, parentH, ownH *hdb, m simfun
 	}
 }
 
+// watchCancel bridges a context into the join's atomic cancellation
+// flag. It returns the flag (nil when ctx is nil: never cancelled) and
+// a release func that must be called once the run is over to free the
+// watcher goroutine.
+func watchCancel(ctx context.Context) (*atomic.Bool, func()) {
+	if ctx == nil {
+		return nil, func() {}
+	}
+	flag := &atomic.Bool{}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-stop:
+		}
+	}()
+	return flag, func() { close(stop) }
+}
+
 // JoinOne runs QJoin on a single config with no cross-config reuse; it is
 // the per-config unit the joint executor schedules, and doubles as the
 // individual-execution baseline of the §6.5 ablation and the single-config
@@ -202,6 +231,8 @@ func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) Top
 		snk.recordQ(opt.Q)
 	}
 	recordSuppressionProvenance(opt.Provenance, c)
+	cancel, release := watchCancel(opt.Ctx)
+	defer release()
 	rs := &runStats{}
 	csp := opt.Trace.Child("ssjoin.config",
 		telemetry.L("config", cor.Res.String(mask)),
@@ -213,6 +244,7 @@ func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) Top
 		m:            opt.Measure,
 		c:            c,
 		score:        makeScorer(cor, mask, nil, nil, opt.Measure),
+		cancel:       cancel,
 		stats:        rs,
 		span:         csp,
 		probeWorkers: opt.ProbeWorkers,
@@ -285,6 +317,9 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 
 	recordSuppressionProvenance(opt.Provenance, c)
 
+	cancel, release := watchCancel(opt.Ctx)
+	defer release()
+
 	idxOf := make(map[*config.Node]int, len(nodes))
 	for i, n := range nodes {
 		idxOf[n] = i
@@ -324,6 +359,7 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 					m:            opt.Measure,
 					c:            c,
 					score:        makeScorer(cor, n.Mask, parentH, dbs[i], opt.Measure),
+					cancel:       cancel,
 					stats:        rs,
 					span:         csp,
 					probeWorkers: opt.ProbeWorkers,

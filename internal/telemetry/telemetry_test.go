@@ -310,6 +310,35 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestServeShutdownReleasesPort: graceful Shutdown must finish in-flight
+// scrapes and release the listener so the address can be rebound — the
+// property mcdebug's -metrics-addr cleanup (and any embedding process's
+// exit path) relies on to not leak the socket.
+func TestServeShutdownReleasesPort(t *testing.T) {
+	r := New()
+	srv, addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A completed scrape guarantees the serving goroutine has registered
+	// the listener, so Shutdown will close it.
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	srv2, _, err := r.Serve(addr.String())
+	if err != nil {
+		t.Fatalf("rebinding %s after Shutdown: %v", addr, err)
+	}
+	srv2.Close()
+}
+
 func TestReset(t *testing.T) {
 	r := New()
 	r.Counter("mc_test_r_total").Inc()

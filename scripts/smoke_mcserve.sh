@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke for mcserve (CI-blocking; see .github/workflows/ci.yml):
+#
+#   1. Build mcgen, mcdebug, and mcserve; generate the F-Z dataset.
+#   2. Run a gold-labeled CLI session and write its canonical report.
+#   3. Start mcserve and drive the same session over HTTP with a scripted
+#      client (create -> upload -> blocker -> join -> label loop ->
+#      finish -> report), asserting status codes and response shapes,
+#      including the 4xx contract on out-of-order operations.
+#   4. Byte-compare the HTTP canonical report against the CLI's — the
+#      transport-determinism acceptance check.
+#   5. Start a 5x-scale join and SIGTERM the server while it is in
+#      flight: the join must still answer 200 (graceful drain), the
+#      process must exit 0, and the ledger must hold one runlog record
+#      per completed session.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+PORT="${MCSERVE_SMOKE_PORT:-18642}"
+BASE="http://127.0.0.1:$PORT"
+
+echo "== build"
+go build -o "$TMP" ./cmd/mcgen ./cmd/mcdebug ./cmd/mcserve
+
+echo "== generate datasets"
+"$TMP/mcgen" -dataset F-Z -out "$TMP"
+mkdir -p "$TMP/big"
+"$TMP/mcgen" -dataset F-Z -scale 5 -out "$TMP/big"
+
+echo "== CLI reference session"
+"$TMP/mcdebug" -a "$TMP/F-Z-A.csv" -b "$TMP/F-Z-B.csv" -gold "$TMP/F-Z-gold.csv" \
+    -drop 'name_jac_word<0.4' -k 200 -n 10 -seed 1 -workers 1 -probe-workers 1 \
+    -canonical -report "$TMP/cli_report.json" >/dev/null
+
+echo "== start mcserve"
+"$TMP/mcserve" -addr "127.0.0.1:$PORT" -ledger "$TMP/ledger.jsonl" \
+    2>"$TMP/mcserve.log" &
+SRV_PID=$!
+
+up=0
+for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    sleep 0.1
+done
+if [ "$up" != 1 ]; then
+    echo "mcserve did not come up" >&2
+    cat "$TMP/mcserve.log" >&2
+    exit 1
+fi
+curl -fsS "$BASE/readyz" >/dev/null
+curl -fsS "$BASE/metrics" | grep -q '^mc_serve_sessions_live' \
+    || { echo "missing mc_serve_sessions_live on /metrics" >&2; exit 1; }
+
+echo "== scripted HTTP session + SIGTERM drain"
+python3 scripts/smoke_mcserve_client.py \
+    "$BASE" "$TMP" "$SRV_PID" "$TMP/http_report.json"
+
+echo "== byte-compare HTTP report against CLI report"
+cmp "$TMP/cli_report.json" "$TMP/http_report.json" \
+    || { echo "HTTP canonical report differs from CLI report" >&2; exit 1; }
+
+echo "== graceful exit"
+rc=0
+wait "$SRV_PID" || rc=$?
+SRV_PID=""
+if [ "$rc" != 0 ]; then
+    echo "mcserve exited $rc after SIGTERM, want 0" >&2
+    cat "$TMP/mcserve.log" >&2
+    exit 1
+fi
+
+records=$(grep -c '"tool":"mcserve"' "$TMP/ledger.jsonl")
+if [ "$records" != 2 ]; then
+    echo "ledger has $records mcserve records, want 2 (one per completed session)" >&2
+    cat "$TMP/ledger.jsonl" >&2
+    exit 1
+fi
+
+echo "mcserve smoke: OK"
