@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet mclint lint vuln fuzz-smoke perf-baseline perf-check parallel-bench serve-smoke
+.PHONY: all build test race vet mclint lint vuln fuzz-smoke perf-baseline perf-check parallel-bench serve-smoke serve-overhead-bench serve-overhead-baseline serve-overhead-check
 
 all: build test
 
@@ -80,6 +80,37 @@ perf-check:
 	$(GO) run ./cmd/mcbench -exp perf-gate -scale $(PERF_SCALE) -seed $(PERF_SEED) \
 		-count 4 -ledger $(PERF_LEDGER)
 	$(GO) run ./cmd/mcperf check -baseline BENCH_perf_gate.json -ledger $(PERF_LEDGER)
+
+# Flight-recorder overhead on the serve request envelope
+# (BENCH_serve_overhead.json): the paired internal/serve benchmarks run
+# the full HTTP envelope with the recorder on and off. -cpu 1 pins the
+# benchmark names (no -N suffix) so ledger keys stay stable across
+# hosts. scripts/serve_overhead_bench.sh runs the whole set
+# SERVE_COUNT times so each invocation's On rep pairs with an Off rep
+# taken seconds later under correlated load, and retries once after a
+# cooldown if a load burst shifted the window; serve-overhead-check is
+# the gate: the median paired on/off ratio must stay inside the 5%
+# budget (scripts/serve_overhead.py — same-process ratios, so
+# meaningful on any machine), and mcperf check blocks on absolute
+# drift when the host matches the committed baseline's fingerprint.
+SERVE_BENCH_OUT ?= serve-bench.out
+SERVE_LEDGER    ?= serve-overhead-ledger.jsonl
+SERVE_COUNT     ?= 6
+
+serve-overhead-bench:
+	bash scripts/serve_overhead_bench.sh $(SERVE_BENCH_OUT) $(SERVE_COUNT)
+	rm -f $(SERVE_LEDGER)
+	$(GO) run ./cmd/mcperf record -ledger $(SERVE_LEDGER) -from-bench \
+		-exp serve-overhead -seed 1 < $(SERVE_BENCH_OUT)
+
+serve-overhead-baseline: serve-overhead-bench
+	$(GO) run ./cmd/mcperf report -ledger $(SERVE_LEDGER) -format json \
+		-desc "serve request envelope with the flight recorder on vs off: full HTTP stack (mux, envelope, metrics, canonical log) via httptest on GET /healthz and GET /v1/sessions/<id>, -cpu 1, $(SERVE_COUNT) paired invocations; budget: recorder adds <5% on the median paired on/off ratio (gated by scripts/serve_overhead.py)" \
+		-out BENCH_serve_overhead.json
+
+serve-overhead-check: serve-overhead-bench
+	$(GO) run ./cmd/mcperf check -baseline BENCH_serve_overhead.json \
+		-ledger $(SERVE_LEDGER)
 
 # Intra-join parallelism speedup curve (BENCH_parallel_join.json): the
 # M2 join sweep at probe worker counts 1/2/4/8, each multi-worker run

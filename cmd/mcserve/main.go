@@ -17,11 +17,16 @@
 //	curl -s       'localhost:8642/v1/sessions/s000001/report'
 //
 // Operations: /healthz (liveness), /readyz (flips to 503 when draining),
-// /metrics (Prometheus exposition of the server's mc_serve_* series).
-// SIGINT/SIGTERM triggers a graceful shutdown: new sessions are refused,
-// in-flight requests — running joins included — drain within
-// -drain-timeout, surviving sessions are finished and (with -ledger)
-// appended to the runlog ledger.
+// /metrics (Prometheus exposition of the server's mc_serve_* series),
+// /debug/flightrecord (JSON dump of the flight ring: the most recent
+// wide events — one per request and session transition — plus every
+// request still in flight). SIGQUIT dumps the flight record to
+// -flight-dump without stopping the server. SIGINT/SIGTERM triggers a
+// graceful shutdown: the flight record is dumped as the drain begins
+// (and again once it completes), new sessions are refused, in-flight
+// requests — running joins included — drain within -drain-timeout,
+// surviving sessions are finished and (with -ledger) appended to the
+// runlog ledger.
 package main
 
 import (
@@ -53,6 +58,9 @@ func mainE() int {
 	requestTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request deadline; cancels in-flight joins")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for draining in-flight requests")
 	ledgerPath := flag.String("ledger", "", "append one runlog record per completed session to this JSONL ledger")
+	flightCap := flag.Int("flight-cap", 0, "flight-recorder ring capacity in events (0 selects the default, negative disables)")
+	flightDump := flag.String("flight-dump", "mcserve-flightrecord.json", "path for automatic flight-record dumps (SIGQUIT and shutdown drain; empty disables)")
+	slowRequest := flag.Duration("slow-request", time.Second, "watchdog threshold: slower requests enter the flight ring with their span tree (negative disables)")
 	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
 
@@ -63,13 +71,31 @@ func mainE() int {
 	log := telemetry.NewLogger(os.Stderr, level)
 
 	srv := serve.New(serve.Options{
-		MaxSessions:      *maxSessions,
-		SessionMemBudget: *memBudgetMB << 20,
-		IdleTimeout:      *idleTimeout,
-		RequestTimeout:   *requestTimeout,
-		LedgerPath:       *ledgerPath,
-		Logger:           log,
+		MaxSessions:       *maxSessions,
+		SessionMemBudget:  *memBudgetMB << 20,
+		IdleTimeout:       *idleTimeout,
+		RequestTimeout:    *requestTimeout,
+		LedgerPath:        *ledgerPath,
+		Logger:            log,
+		FlightRecorderCap: *flightCap,
+		SlowRequest:       *slowRequest,
+		FlightDumpPath:    *flightDump,
 	})
+
+	// SIGQUIT: dump the flight record and keep serving — the live
+	// counterpart of reading /debug/flightrecord, for when the HTTP
+	// surface is the thing misbehaving.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			if err := srv.DumpFlightRecord("sigquit"); err != nil {
+				log.Error("flight dump failed", "err", err)
+			} else {
+				log.Info("flight record dumped", "path", *flightDump, "reason", "sigquit")
+			}
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
 	"regexp"
 )
 
@@ -17,8 +18,10 @@ var MetricNameAnalyzer = &Analyzer{
 	Name: "metricname",
 	Doc: "metric names must be compile-time constants matching mc_<pkg>_<name> " +
 		"with <pkg> equal to the registering package's name; the mc_runtime_* " +
-		"and mc_build_* namespaces are reserved for the telemetry package, and " +
-		"mc_serve_* is scoped by import path to internal/serve",
+		"and mc_build_* namespaces are reserved for the telemetry package, " +
+		"mc_serve_* is scoped by import path to internal/serve, and labels on " +
+		"mc_serve_* series must be inline telemetry.L calls with constant keys " +
+		"from the bounded serve label vocabulary (cardinality guard)",
 	Run: runMetricName,
 }
 
@@ -43,6 +46,18 @@ var reservedMetricNamespaces = map[string]bool{
 // scope closes that hole.
 var pathScopedMetricNamespaces = map[string]func(path string) bool{
 	"serve": isServePkg,
+}
+
+// pathScopedLabelKeys is the bounded label vocabulary per path-scoped
+// namespace. Series in these namespaces feed operational dashboards
+// and alerts, where an unbounded label (a session id, a client value)
+// silently explodes series cardinality; restricting keys to this
+// constant set — with values bounded by construction (route names are
+// registration constants, codes are HTTP statuses, reasons are the
+// eviction enum; the registry-side twin, TestServeLabelCardinality,
+// checks the values at runtime) — keeps the surface finite.
+var pathScopedLabelKeys = map[string]map[string]bool{
+	"serve": {"route": true, "code": true, "reason": true},
 }
 
 // registrationMethods are the Registry methods (and same-named
@@ -101,7 +116,9 @@ func runMetricName(pass *Pass) error {
 					pass.Reportf(arg.Pos(),
 						"metric namespace mc_%s_* is scoped to internal/%s by import path; package %q (%s) must use mc_%s_*",
 						m[1], m[1], pass.Pkg.Name(), pass.Pkg.Path(), pass.Pkg.Name())
+					return true
 				}
+				checkScopedLabels(pass, call, m[1])
 				return true
 			}
 			if m[1] != pass.Pkg.Name() {
@@ -112,4 +129,50 @@ func runMetricName(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkScopedLabels is the cardinality guard for a path-scoped
+// namespace: every label argument of the registration must be an
+// inline telemetry.L call whose key is a compile-time constant from
+// the namespace's bounded vocabulary. Anything mclint cannot prove
+// bounded (a spread slice, a constructed Label, a computed key) is a
+// finding — a dashboard-facing series must not be able to grow a label
+// dimension by accident.
+func checkScopedLabels(pass *Pass, call *ast.CallExpr, ns string) {
+	allowed := pathScopedLabelKeys[ns]
+	if allowed == nil {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis,
+			"labels on an mc_%s_* series must be inline telemetry.L calls so mclint can bound the label set; a spread argument cannot be audited", ns)
+		return
+	}
+	info := pass.TypesInfo
+	for _, arg := range call.Args[1:] {
+		lc, ok := arg.(*ast.CallExpr)
+		var f *types.Func
+		if ok {
+			f = calleeOf(info, lc)
+		}
+		if f == nil || f.Name() != "L" || !isTelemetryPkg(pkgPathOf(f)) {
+			pass.Reportf(arg.Pos(),
+				"label on an mc_%s_* series must be an inline telemetry.L call so mclint can bound the label set", ns)
+			continue
+		}
+		if len(lc.Args) < 1 {
+			continue
+		}
+		kv, ok := info.Types[lc.Args[0]]
+		if !ok || kv.Value == nil || kv.Value.Kind() != constant.String {
+			pass.Reportf(lc.Args[0].Pos(),
+				"label key on an mc_%s_* series must be a compile-time constant string from the bounded label set", ns)
+			continue
+		}
+		key := constant.StringVal(kv.Value)
+		if !allowed[key] {
+			pass.Reportf(lc.Args[0].Pos(),
+				"label key %q is outside the bounded mc_%s_* label set (allowed: code, reason, route); new dashboard dimensions must be added to pathScopedLabelKeys deliberately", key, ns)
+		}
+	}
 }

@@ -16,3 +16,29 @@ func register(r *real.Registry) {
 	r.Gauge("mc_other_thing")        // want "claims package segment \"other\""
 	r.Gauge("mc_runtime_goroutines") // want "reserved"
 }
+
+// labels exercises the cardinality guard: labels on mc_serve_* series
+// must be inline telemetry.L calls with constant keys from the bounded
+// vocabulary {route, code, reason}.
+func labels(r *real.Registry, status string, tenant string) {
+	// The full bounded vocabulary, with computed *values* (fine: only
+	// keys must be constant — values are bounded by construction and
+	// checked at runtime).
+	r.Counter("mc_serve_requests_total", real.L("route", "join"), real.L("code", status))
+	r.Counter("mc_serve_sessions_evicted_total", real.L("reason", "idle"))
+
+	r.Counter("mc_serve_requests_total", real.L("tenant", tenant)) // want "outside the bounded"
+
+	key := "route"
+	r.Counter("mc_serve_requests_total", real.L(key, "join")) // want "compile-time constant"
+
+	r.Counter("mc_serve_requests_total", real.Label{Key: "route", Value: "join"}) // want "inline telemetry.L"
+
+	extra := []real.Label{real.L("route", "join")}
+	r.Counter("mc_serve_requests_total", extra...) // want "cannot be audited"
+
+	// Ordinary-namespace series are untouched by the guard: any label
+	// goes (their cardinality is a per-package concern, not a dashboard
+	// contract).
+	r.Counter("mc_serve2_ignored_total", real.L("whatever", tenant)) // want "claims package segment \"serve2\""
+}

@@ -1,0 +1,91 @@
+package runlog
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"matchcatcher/internal/telemetry"
+)
+
+// The env-fingerprinting contract for ledger records on hosts without
+// VCS stamping: a stamped binary's identity passes through untouched
+// (git is never consulted), an unstamped binary falls back to the git
+// CLI, and on a host without git the fallback degrades to the stamped
+// "unknown" identity instead of failing. PATH manipulation stands in
+// for "host without git" / "host with git" so the test does not depend
+// on how the test binary itself was built.
+
+func TestBuildFromStampedNeverShellsOut(t *testing.T) {
+	// An empty PATH would make any git invocation fail loudly, so a
+	// stamped identity surviving proves git was never consulted.
+	t.Setenv("PATH", t.TempDir())
+	in := telemetry.BuildInfo{Revision: "abc123", Dirty: true, GoVersion: "go1.22"}
+	if got := buildFrom(in); got != in {
+		t.Errorf("stamped identity rewritten: %+v -> %+v", in, got)
+	}
+}
+
+func TestBuildFromNoGitHost(t *testing.T) {
+	t.Setenv("PATH", t.TempDir()) // host without git
+	in := telemetry.BuildInfo{Revision: "unknown", GoVersion: "go1.22"}
+	got := buildFrom(in)
+	if got.Revision != "unknown" || got.Dirty {
+		t.Errorf("no-git fallback = %+v, want the unstamped identity unchanged", got)
+	}
+	// The full Record path must also survive a gitless host.
+	rec := New("mcbench", "smoke", 1, map[string]any{"k": 10})
+	if rec.Build.GoVersion == "" {
+		t.Errorf("record build lacks the Go version: %+v", rec.Build)
+	}
+	if rec.ConfigHash == "" || rec.Env.GOOS == "" {
+		t.Errorf("record fingerprint incomplete: hash=%q env=%+v", rec.ConfigHash, rec.Env)
+	}
+}
+
+func TestBuildFromFakeGit(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("fake git is a shell script")
+	}
+	dir := t.TempDir()
+	script := "#!/bin/sh\n" +
+		"case \"$1\" in\n" +
+		"rev-parse) echo deadbeefcafe ;;\n" +
+		"status) echo ' M file.go' ;;\n" +
+		"esac\n"
+	if err := os.WriteFile(filepath.Join(dir, "git"), []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("PATH", dir)
+	got := buildFrom(telemetry.BuildInfo{Revision: "unknown", GoVersion: "go1.22"})
+	if got.Revision != "deadbeefcafe" {
+		t.Errorf("revision = %q, want the fake git's answer", got.Revision)
+	}
+	if !got.Dirty {
+		t.Error("porcelain output not reflected in Dirty")
+	}
+	if got.GoVersion != "go1.22" {
+		t.Errorf("GoVersion clobbered: %q", got.GoVersion)
+	}
+}
+
+func TestBuildFromFakeGitCleanTree(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("fake git is a shell script")
+	}
+	dir := t.TempDir()
+	script := "#!/bin/sh\n" +
+		"case \"$1\" in\n" +
+		"rev-parse) echo deadbeefcafe ;;\n" +
+		"status) : ;;\n" +
+		"esac\n"
+	if err := os.WriteFile(filepath.Join(dir, "git"), []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("PATH", dir)
+	got := buildFrom(telemetry.BuildInfo{Revision: ""})
+	if got.Revision != "deadbeefcafe" || got.Dirty {
+		t.Errorf("clean tree = %+v, want revision set and Dirty false", got)
+	}
+}

@@ -77,9 +77,9 @@ type Record struct {
 	// Config is the full knob set of the run; ConfigHash is the first 12
 	// hex digits of the SHA-256 of its canonical JSON, so "same workload"
 	// is machine-checkable without field-by-field comparison.
-	Config     map[string]any `json:"config,omitempty"`
-	ConfigHash string         `json:"config_hash"`
-	Env        Fingerprint    `json:"env"`
+	Config     map[string]any      `json:"config,omitempty"`
+	ConfigHash string              `json:"config_hash"`
+	Env        Fingerprint         `json:"env"`
 	Build      telemetry.BuildInfo `json:"build"`
 	// Metrics are this run's scalar samples, keyed
 	// "<workload...>:<quantity>" where the quantity suffix determines the
@@ -169,7 +169,15 @@ func cpuModel() string {
 // best-effort `git rev-parse HEAD` / `git status --porcelain` from the
 // working directory (go run / go test binaries are not stamped).
 func Build() telemetry.BuildInfo {
-	b := telemetry.ReadBuild()
+	return buildFrom(telemetry.ReadBuild())
+}
+
+// buildFrom applies the git fallback to a ReadBuild result. Split out
+// so tests can exercise both halves of the contract — stamped binaries
+// never shell out, and unstamped binaries on hosts without git keep
+// the "unknown" identity rather than failing — without needing to
+// control how the test binary itself was built.
+func buildFrom(b telemetry.BuildInfo) telemetry.BuildInfo {
 	if b.Revision != "unknown" && b.Revision != "" {
 		return b
 	}

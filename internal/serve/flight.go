@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+
+	"matchcatcher/internal/telemetry"
+)
+
+// The serve layer's flight-recorder integration: every request and
+// every session state transition becomes one wide event in the server's
+// bounded ring (see telemetry.FlightRecorder), and the same wide event
+// is the source of the request's single canonical log line. Recording
+// is observe-only — a request mutates only its own local event; the
+// in-flight table below holds value copies under its own mutex — so
+// none of this touches a session's join hot path.
+
+// inflightTable tracks session requests currently executing, so a
+// flight dump taken mid-request (drain begin, SIGQUIT,
+// /debug/flightrecord) still shows what the server was doing — the
+// evidence a post-mortem needs when a request never finished. Only
+// session routes register (the requests that can run long: joins);
+// envelope-only routes finish in microseconds and would pay the table's
+// two mutex hops for nothing. Entries are value copies registered after
+// annotation: the request goroutine owns its local event, so dump
+// readers never race request writers.
+type inflightTable struct {
+	mu   sync.Mutex
+	next uint64
+	reqs map[uint64]telemetry.FlightEvent
+}
+
+// add registers a request's wide event and returns its tracking token.
+func (t *inflightTable) add(ev telemetry.FlightEvent) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.reqs == nil {
+		t.reqs = make(map[uint64]telemetry.FlightEvent)
+	}
+	t.next++
+	t.reqs[t.next] = ev
+	return t.next
+}
+
+func (t *inflightTable) remove(token uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.reqs, token)
+}
+
+// snapshot returns the in-flight events oldest-first, marked Inflight.
+func (t *inflightTable) snapshot() []telemetry.FlightEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tokens := make([]uint64, 0, len(t.reqs))
+	for tok := range t.reqs {
+		tokens = append(tokens, tok)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	out := make([]telemetry.FlightEvent, 0, len(tokens))
+	for _, tok := range tokens {
+		ev := t.reqs[tok]
+		ev.Inflight = true
+		out = append(out, ev)
+	}
+	return out
+}
+
+// eventOf recovers the request's wide event from the response writer
+// the envelope installed, so handlers (writeError, session create) can
+// annotate it without new plumbing. Nil when the writer is not ours —
+// callers must tolerate that.
+func eventOf(w http.ResponseWriter) *telemetry.FlightEvent {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.ev
+	}
+	return nil
+}
+
+// flightDump assembles the full dump: ring events, in-flight requests,
+// and the stamped machine context (build, mc_runtime_* gauges).
+func (s *Server) flightDump(reason string) *telemetry.FlightDump {
+	d := s.flight.Dump()
+	d.Inflight = s.inflightReqs.snapshot()
+	return d.Stamp(reason, s.reg)
+}
+
+// handleFlightRecord serves GET /debug/flightrecord. It stays available
+// while draining — the dump is most valuable exactly then.
+func (s *Server) handleFlightRecord(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.flightDump("http").WriteJSON(w); err != nil {
+		s.log.Error("flight record write failed", "err", err)
+	}
+}
+
+// DumpFlightRecord writes the current flight record to
+// Options.FlightDumpPath (no-op when unset). The server calls it
+// automatically at drain begin and again after Close; mcserve also
+// calls it on SIGQUIT, the classic "show me what you're doing right
+// now" signal.
+func (s *Server) DumpFlightRecord(reason string) error {
+	if s.opt.FlightDumpPath == "" {
+		return nil
+	}
+	return s.flightDump(reason).WriteFile(s.opt.FlightDumpPath)
+}
+
+// dumpFlightToDisk is DumpFlightRecord with logging instead of error
+// returns, for the shutdown paths that cannot do better than log.
+func (s *Server) dumpFlightToDisk(reason string) {
+	if s.opt.FlightDumpPath == "" {
+		return
+	}
+	if err := s.DumpFlightRecord(reason); err != nil {
+		s.log.Error("flight dump failed", "path", s.opt.FlightDumpPath, "reason", reason, "err", err)
+	} else {
+		s.log.Info("flight record dumped", "path", s.opt.FlightDumpPath, "reason", reason)
+	}
+}
+
+// transition records a session state transition (created, finished,
+// deleted, evicted_idle, evicted_lru, shutdown) as a wide event and
+// emits its canonical log line. The one path session lifecycle
+// observability flows through.
+func (s *Server) transition(sess *session, what string) {
+	s.flight.Record(telemetry.FlightEvent{
+		Kind:    "session",
+		Route:   what,
+		Session: sess.id,
+		TraceID: sess.root.TraceID(),
+	})
+	s.log.Info("session", "transition", what, "session", sess.id)
+}
+
+// logRequest emits the request's canonical log line — one structured
+// record per request, at request end, from the same wide event the
+// flight ring retains (so logs, metrics, and the flight record can
+// never disagree about what happened).
+func (s *Server) logRequest(ev *telemetry.FlightEvent) {
+	attrs := make([]any, 0, 22)
+	attrs = append(attrs,
+		"route", ev.Route,
+		"method", ev.Method,
+		"status", ev.Status,
+		"dur_us", ev.DurMicros,
+	)
+	if ev.Session != "" {
+		attrs = append(attrs, "session", ev.Session)
+	}
+	if ev.TraceID != 0 {
+		attrs = append(attrs, "trace_id", ev.TraceID, "span_id", ev.SpanID)
+	}
+	if ev.BytesIn > 0 {
+		attrs = append(attrs, "bytes_in", ev.BytesIn)
+	}
+	if ev.BytesOut > 0 {
+		attrs = append(attrs, "bytes_out", ev.BytesOut)
+	}
+	if ev.Err != "" {
+		attrs = append(attrs, "error", ev.Err)
+	}
+	if ev.Slow {
+		attrs = append(attrs, "slow", true)
+	}
+	s.log.Info("request", attrs...)
+}

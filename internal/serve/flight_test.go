@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"matchcatcher/internal/telemetry"
+)
+
+func fetchFlightDump(t *testing.T, base string) *telemetry.FlightDump {
+	t.Helper()
+	code, body := do(t, "GET", base+"/debug/flightrecord", "")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flightrecord status = %d: %s", code, body)
+	}
+	d, err := telemetry.ReadFlightDump(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFlightRecordEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	scriptSession(t, ts.URL, sessionBody)
+	d := fetchFlightDump(t, ts.URL)
+
+	if d.Reason != "http" {
+		t.Errorf("reason = %q, want http", d.Reason)
+	}
+	if d.Build == nil || d.Time == 0 {
+		t.Error("dump lacks build/time context")
+	}
+	if len(d.Runtime) == 0 {
+		t.Error("dump lacks mc_runtime_* context")
+	}
+	var sawJoin, sawCreated, sawFinished bool
+	for _, ev := range d.Events {
+		switch {
+		case ev.Kind == "request" && ev.Route == "join":
+			sawJoin = true
+			if ev.Status != http.StatusOK || ev.Session == "" || ev.TraceID == 0 {
+				t.Errorf("join event incomplete: %+v", ev)
+			}
+			if ev.DurMicros <= 0 {
+				t.Errorf("join event has no latency: %+v", ev)
+			}
+		case ev.Kind == "session" && ev.Route == "created":
+			sawCreated = true
+		case ev.Kind == "session" && ev.Route == "finished":
+			sawFinished = true
+		}
+	}
+	if !sawJoin || !sawCreated || !sawFinished {
+		t.Errorf("dump missing events: join=%v created=%v finished=%v",
+			sawJoin, sawCreated, sawFinished)
+	}
+	// A 404 must land in the ring with its error message.
+	do(t, "GET", ts.URL+"/v1/sessions/nope", "")
+	d = fetchFlightDump(t, ts.URL)
+	found := false
+	for _, ev := range d.Events {
+		if ev.Kind == "request" && ev.Status == http.StatusNotFound && ev.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("404 request event with error message not retained")
+	}
+}
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Options{FlightRecorderCap: -1})
+	scriptSession(t, ts.URL, sessionBody)
+	d := fetchFlightDump(t, ts.URL)
+	if d.Recorded != 0 || d.Retained != 0 || len(d.Events) != 0 {
+		t.Errorf("disabled recorder retained events: %+v", d)
+	}
+}
+
+// TestObservabilityUpWhileDraining is the drain regression contract:
+// only /readyz flips to 503 when the drain begins; /metrics, /healthz,
+// and /debug/flightrecord keep answering 200 so operators can watch the
+// drain they just started.
+func TestObservabilityUpWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	s.BeginShutdown()
+	if code, _ := do(t, "GET", ts.URL+"/readyz", ""); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: %d, want 503", code)
+	}
+	for _, path := range []string{"/metrics", "/healthz", "/debug/flightrecord"} {
+		if code, _ := do(t, "GET", ts.URL+path, ""); code != http.StatusOK {
+			t.Errorf("%s while draining: %d, want 200", path, code)
+		}
+	}
+}
+
+func TestFlightDumpOnShutdown(t *testing.T) {
+	dumpPath := filepath.Join(t.TempDir(), "flight.json")
+	s, ts := newTestServer(t, Options{FlightDumpPath: dumpPath})
+	scriptSession(t, ts.URL, sessionBody)
+
+	s.BeginShutdown()
+	d := readDumpFile(t, dumpPath)
+	if d.Reason != "drain" {
+		t.Errorf("drain dump reason = %q", d.Reason)
+	}
+
+	s.Close()
+	d = readDumpFile(t, dumpPath)
+	if d.Reason != "close" {
+		t.Errorf("final dump reason = %q", d.Reason)
+	}
+	var sawJoin, sawShutdown bool
+	for _, ev := range d.Events {
+		if ev.Kind == "request" && ev.Route == "join" {
+			sawJoin = true
+		}
+		if ev.Kind == "session" && ev.Route == "shutdown" {
+			sawShutdown = true
+		}
+	}
+	if !sawJoin {
+		t.Error("final dump lacks the join request event")
+	}
+	// The finished session was still resident, so Close drains it and
+	// records its shutdown transition.
+	if !sawShutdown {
+		t.Error("final dump lacks the shutdown transition")
+	}
+}
+
+func readDumpFile(t *testing.T, path string) *telemetry.FlightDump {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := telemetry.ReadFlightDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSlowRequestWatchdog(t *testing.T) {
+	reg := telemetry.New()
+	_, ts := newTestServer(t, Options{Metrics: reg, SlowRequest: time.Nanosecond})
+	scriptSession(t, ts.URL, sessionBody)
+	d := fetchFlightDump(t, ts.URL)
+	var slow *telemetry.FlightEvent
+	for i := range d.Events {
+		ev := &d.Events[i]
+		if ev.Kind == "request" && ev.Route == "join" && ev.Slow {
+			slow = ev
+		}
+	}
+	if slow == nil {
+		t.Fatal("join did not trip the 1ns watchdog")
+	}
+	if len(slow.Spans) == 0 {
+		t.Fatal("slow event carries no span tree")
+	}
+	names := map[string]bool{}
+	for _, sp := range slow.Spans {
+		names[sp.Name] = true
+	}
+	if !names["serve.request"] {
+		t.Errorf("slow span tree lacks serve.request: %v", names)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for key := range snap.Counters {
+		if strings.HasPrefix(key, "mc_serve_slow_requests_total") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mc_serve_slow_requests_total not incremented")
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Options{SlowRequest: -1})
+	scriptSession(t, ts.URL, sessionBody)
+	d := fetchFlightDump(t, ts.URL)
+	for _, ev := range d.Events {
+		if ev.Slow {
+			t.Fatalf("watchdog disabled but event marked slow: %+v", ev)
+		}
+	}
+}
+
+// TestCanonicalRequestLog checks the one-line-per-request contract:
+// every request emits exactly one "request" record at request end, the
+// record carries the wide event's fields, and the old ad-hoc handler
+// logs are gone.
+func TestCanonicalRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	log := telemetry.NewLogger(&buf, slog.LevelDebug)
+	_, ts := newTestServer(t, Options{Logger: log})
+
+	id := createSession(t, ts.URL, sessionBody)
+	do(t, "GET", ts.URL+"/v1/sessions/"+id, "")
+	do(t, "GET", ts.URL+"/v1/sessions/nope", "")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var reqLines []string
+	for _, line := range lines {
+		if strings.Contains(line, "msg=request") {
+			reqLines = append(reqLines, line)
+		}
+		if strings.Contains(line, "session created") {
+			t.Errorf("ad-hoc handler log survived: %s", line)
+		}
+	}
+	if len(reqLines) != 3 {
+		t.Fatalf("%d canonical request lines, want 3:\n%s", len(reqLines), buf.String())
+	}
+	for _, line := range reqLines {
+		for _, field := range []string{"route=", "method=", "status=", "dur_us="} {
+			if !strings.Contains(line, field) {
+				t.Errorf("request line lacks %s: %s", field, line)
+			}
+		}
+	}
+	if !strings.Contains(reqLines[0], "session=s") {
+		t.Errorf("create line lacks the new session id: %s", reqLines[0])
+	}
+	if !strings.Contains(reqLines[1], "trace_id=") {
+		t.Errorf("session route line lacks trace correlation: %s", reqLines[1])
+	}
+	if !strings.Contains(reqLines[2], "status=404") || !strings.Contains(reqLines[2], "error=") {
+		t.Errorf("error line lacks status/error: %s", reqLines[2])
+	}
+}
+
+// serveSeriesRE splits a snapshot series key into name and label body.
+var serveSeriesRE = regexp.MustCompile(`^([a-z0-9_]+)(?:\{(.*)\})?$`)
+
+// TestServeLabelCardinality is the registry-side cardinality guard:
+// every label on every mc_serve_* series must come from the bounded
+// constant sets below, so the metrics surface cannot grow unbounded
+// series from user-controlled input (the static-side twin is mclint's
+// metricname label check).
+func TestServeLabelCardinality(t *testing.T) {
+	reg := telemetry.New()
+	s, ts := newTestServer(t, Options{Metrics: reg, MaxSessions: 1, SessionMemBudget: 64, IdleTimeout: time.Minute})
+	// Exercise every labeled code path: success, 404, 413, 429, evictions.
+	id := createSession(t, ts.URL, "")
+	do(t, "GET", ts.URL+"/v1/sessions/nope", "")
+	do(t, "PUT", ts.URL+"/v1/sessions/"+id+"/tables/a?name=A", tableACSV)
+	sess, _ := s.acquire(id)
+	do(t, "POST", ts.URL+"/v1/sessions", "")
+	s.release(sess)
+	createSession(t, ts.URL, "") // LRU-evicts id
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.lastUsed = time.Now().Add(-2 * time.Minute)
+	}
+	s.mu.Unlock()
+	s.evictIdle()
+
+	allowedKeys := map[string]bool{"route": true, "code": true, "reason": true}
+	allowedRoutes := map[string]bool{}
+	for _, r := range []string{
+		"healthz", "readyz", "sessions_create", "sessions_list",
+		"session_get", "session_delete", "tables_put", "blocker_set",
+		"join", "candidates", "next", "labels", "finish", "report",
+		"explain", "flightrecord",
+	} {
+		allowedRoutes[r] = true
+	}
+	allowedReasons := map[string]bool{"idle": true, "lru": true}
+	codeRE := regexp.MustCompile(`^[1-5][0-9]{2}$`)
+
+	snap := reg.Snapshot()
+	keys := make([]string, 0, snap.NumSeries())
+	for k := range snap.Counters {
+		keys = append(keys, k)
+	}
+	for k := range snap.Gauges {
+		keys = append(keys, k)
+	}
+	for k := range snap.Histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	checked := 0
+	for _, key := range keys {
+		if !strings.HasPrefix(key, "mc_serve_") {
+			continue
+		}
+		checked++
+		m := serveSeriesRE.FindStringSubmatch(key)
+		if m == nil {
+			t.Errorf("unparseable series key %q", key)
+			continue
+		}
+		if m[2] == "" {
+			continue // unlabeled series are trivially bounded
+		}
+		for _, pair := range strings.Split(m[2], ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				t.Errorf("series %q: bad label %q", key, pair)
+				continue
+			}
+			lk, lv := kv[0], strings.Trim(kv[1], `"`)
+			if !allowedKeys[lk] {
+				t.Errorf("series %q: label key %q outside the bounded set", key, lk)
+			}
+			switch lk {
+			case "route":
+				if !allowedRoutes[lv] {
+					t.Errorf("series %q: route %q outside the registered route set", key, lv)
+				}
+			case "code":
+				if !codeRE.MatchString(lv) {
+					t.Errorf("series %q: code %q is not a status code", key, lv)
+				}
+			case "reason":
+				if !allowedReasons[lv] {
+					t.Errorf("series %q: reason %q outside the eviction reason set", key, lv)
+				}
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d mc_serve_* series exercised; the guard is vacuous", checked)
+	}
+}
+
+// TestInflightSectionShowsRunningRequest pins the dump's in-flight
+// evidence: a request still executing when the dump is taken appears in
+// the Inflight section with its session identity.
+func TestInflightSectionShowsRunningRequest(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	id := createSession(t, ts.URL, sessionBody)
+
+	sess, ok := s.acquire(id)
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	defer s.release(sess)
+	// Simulate the envelope's in-flight registration for a long join.
+	tok := s.inflightReqs.add(telemetry.FlightEvent{
+		Kind: "request", Route: "join", Method: "POST", Session: id,
+	})
+	defer s.inflightReqs.remove(tok)
+
+	d := fetchFlightDump(t, ts.URL)
+	found := false
+	for _, ev := range d.Inflight {
+		if ev.Route == "join" && ev.Session == id && ev.Inflight {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("in-flight join missing from dump: %+v", d.Inflight)
+	}
+}
+
+func TestTransitionEventsOnEviction(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxSessions: 1, IdleTimeout: time.Minute})
+	id := createSession(t, ts.URL, "")
+	createSession(t, ts.URL, "") // LRU-evicts id
+	_ = id
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.lastUsed = time.Now().Add(-2 * time.Minute)
+	}
+	s.mu.Unlock()
+	s.evictIdle()
+
+	d := fetchFlightDump(t, ts.URL)
+	want := map[string]bool{"evicted_lru": false, "evicted_idle": false, "created": false}
+	for _, ev := range d.Events {
+		if ev.Kind == "session" {
+			if _, ok := want[ev.Route]; ok {
+				want[ev.Route] = true
+			}
+			if ev.Session == "" {
+				t.Errorf("session transition without session id: %+v", ev)
+			}
+		}
+	}
+	for _, tr := range []string{"evicted_lru", "evicted_idle", "created"} {
+		if !want[tr] {
+			t.Errorf("transition %q not recorded", tr)
+		}
+	}
+}

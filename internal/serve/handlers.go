@@ -77,7 +77,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError answers an error and annotates the request's wide event
+// with it, so the canonical log line and the flight record carry the
+// exact message the client saw.
 func writeError(w http.ResponseWriter, code int, msg string) {
+	if ev := eventOf(w); ev != nil {
+		ev.Err = msg
+	}
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
@@ -134,7 +140,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
-	s.log.Info("session created", "session", sess.id, "seed", cfg.Seed, "k", cfg.K, "n", cfg.N)
+	// The create's canonical log line carries the new session id; the
+	// "created" transition event (recorded by admit) carries the rest.
+	if ev := eventOf(w); ev != nil {
+		ev.Session = sess.id
+	}
 	writeJSON(w, http.StatusCreated, s.infoFor(sess))
 }
 
@@ -427,6 +437,7 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request, sess *sess
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("ledger append: %v", err))
 		return
 	}
+	s.transition(sess, "finished")
 	writeJSON(w, http.StatusOK, map[string]any{
 		"iterations":    dbg.Iterations(),
 		"matches_found": len(dbg.Matches()),

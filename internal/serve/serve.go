@@ -63,6 +63,18 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// Logger receives request and lifecycle logs (nil discards them).
 	Logger *slog.Logger
+	// FlightRecorderCap sizes the flight ring of recent wide events
+	// (0 selects telemetry.DefaultFlightCapacity; < 0 disables the
+	// recorder entirely — the canonical log lines still flow).
+	FlightRecorderCap int
+	// SlowRequest is the watchdog threshold: requests slower than this
+	// enter the flight ring with their full span tree attached (0
+	// selects 1s; < 0 disables the watchdog).
+	SlowRequest time.Duration
+	// FlightDumpPath, when set, receives an automatic flight-record dump
+	// when shutdown drain begins and again after Close, so the evidence
+	// survives the process.
+	FlightDumpPath string
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +90,9 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 60 * time.Second
 	}
+	if o.SlowRequest == 0 {
+		o.SlowRequest = time.Second
+	}
 	return o
 }
 
@@ -91,6 +106,12 @@ type Server struct {
 	reg *telemetry.Registry
 	log *slog.Logger
 	mux *http.ServeMux
+
+	// flight is the black-box recorder of recent wide events (nil when
+	// disabled; every call site is nil-safe). inflightReqs tracks
+	// requests currently executing for the dump's in-flight section.
+	flight       *telemetry.FlightRecorder
+	inflightReqs inflightTable
 
 	mu       sync.Mutex // guards sessions, nextID, draining, per-session lastUsed/inflight
 	sessions map[string]*session
@@ -114,13 +135,17 @@ func New(opt Options) *Server {
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	if opt.FlightRecorderCap >= 0 {
+		s.flight = telemetry.NewFlightRecorder(opt.FlightRecorderCap)
+	}
 	s.reg.SetHelp("mc_serve_sessions_live", "Debugging sessions currently hosted.")
 	s.reg.SetHelp("mc_serve_sessions_created_total", "Sessions created since process start.")
 	s.reg.SetHelp("mc_serve_sessions_evicted_total", "Sessions evicted, by reason (idle, lru).")
 	s.reg.SetHelp("mc_serve_admission_rejected_total", "Session creations rejected with 429 (table full, no idle session to evict).")
 	s.reg.SetHelp("mc_serve_budget_rejected_total", "Table uploads rejected with 413 (per-session memory budget).")
 	s.reg.SetHelp("mc_serve_requests_total", "HTTP requests served, by route and status code.")
-	s.reg.SetHelp("mc_serve_request_seconds", "HTTP request latency, by route.")
+	s.reg.SetHelp("mc_serve_request_seconds", "HTTP request latency, by route and status code.")
+	s.reg.SetHelp("mc_serve_slow_requests_total", "Requests that tripped the slow-request watchdog, by route.")
 	// Instantiate the gauge so /metrics exposes a zero before the first
 	// session arrives; SetHelp alone does not create the series.
 	s.reg.Gauge("mc_serve_sessions_live").Set(0)
@@ -151,13 +176,19 @@ func (s *Server) routes() {
 	s.route("POST /v1/sessions/{id}/finish", "finish", s.sessionRoute("finish", s.handleFinish))
 	s.route("GET /v1/sessions/{id}/report", "report", s.sessionRoute("report", s.handleReport))
 	s.route("GET /v1/sessions/{id}/explain", "explain", s.sessionRoute("explain", s.handleExplain))
+	s.route("GET /debug/flightrecord", "flightrecord", s.handleFlightRecord)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 }
 
-// statusWriter captures the response code for metrics and logs.
+// statusWriter captures the response code and body size for the
+// request's wide event, and carries the event itself so handlers can
+// annotate it (error message, session id) without extra plumbing.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
+	ev    *telemetry.FlightEvent
+	token uint64 // inflightReqs token, 0 when the request is untracked
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -165,31 +196,60 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
 // route registers a handler wrapped with the request envelope: a
 // deadline on /v1 routes (threaded into handlers via the request
-// context, which the join converts into cancellation) and the
+// context, which the join converts into cancellation), one wide event
+// per request feeding the flight ring, the canonical log line, and the
 // mc_serve_requests_total / mc_serve_request_seconds series.
 func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		ev := &telemetry.FlightEvent{
+			Kind:   "request",
+			Route:  name,
+			Method: r.Method,
+			Time:   start.UnixNano(),
+		}
+		if r.ContentLength > 0 {
+			ev.BytesIn = r.ContentLength
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK, ev: ev}
 		if s.opt.RequestTimeout > 0 && strings.HasPrefix(r.URL.Path, "/v1/") {
 			ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
 		h(sw, r)
+		ev.Status = sw.code
+		ev.BytesOut = sw.bytes
+		ev.DurMicros = time.Since(start).Microseconds()
+		code := strconv.Itoa(sw.code)
 		s.reg.Counter("mc_serve_requests_total",
-			telemetry.L("route", name), telemetry.L("code", strconv.Itoa(sw.code))).Inc()
-		s.reg.Histogram("mc_serve_request_seconds", telemetry.L("route", name)).
+			telemetry.L("route", name), telemetry.L("code", code)).Inc()
+		s.reg.Histogram("mc_serve_request_seconds",
+			telemetry.L("route", name), telemetry.L("code", code)).
 			Observe(time.Since(start).Seconds())
+		if ev.Slow {
+			s.reg.Counter("mc_serve_slow_requests_total", telemetry.L("route", name)).Inc()
+		}
+		s.flight.Record(*ev)
+		s.logRequest(ev)
 	})
 }
 
 // sessionRoute resolves the {id} path value, pins the session against
 // eviction for the request's duration, opens a serve.request trace span
-// under the session's serve.session root, and writes the request log
-// line correlated (via the span context) with the session's trace.
+// under the session's serve.session root, annotates the request's wide
+// event with the session and trace identity, and runs the slow-request
+// watchdog: requests over Options.SlowRequest get their span subtree
+// copied into the event so the flight ring retains the full tree even
+// after the tracer's retention cap drops it.
 func (s *Server) sessionRoute(name string, h func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -202,17 +262,39 @@ func (s *Server) sessionRoute(name string, h func(http.ResponseWriter, *http.Req
 		defer s.release(sess)
 		sp := sess.root.Child("serve.request",
 			telemetry.L("route", name), telemetry.L("method", r.Method))
+		sw, _ := w.(*statusWriter)
+		if sw != nil && sw.ev != nil {
+			sw.ev.Session = id
+			sw.ev.TraceID = sp.TraceID()
+			sw.ev.SpanID = sp.ID()
+			// Only session routes enter the in-flight table: they are the
+			// requests that can run long enough (joins) for a mid-request
+			// dump to matter, and keeping the table off the sub-millisecond
+			// envelope routes keeps recorder overhead inside the budget.
+			// The copy is registered fully annotated, so dump readers never
+			// see a half-identified request.
+			if s.flight != nil {
+				sw.token = s.inflightReqs.add(*sw.ev)
+				defer s.inflightReqs.remove(sw.token)
+			}
+		}
 		ctx := telemetry.ContextWithSpan(r.Context(), sp)
 		h(w, r.WithContext(ctx), sess)
 		code := http.StatusOK
-		if sw, isStatus := w.(*statusWriter); isStatus {
+		if sw != nil {
 			code = sw.code
 		}
 		sp.SetAttrInt("status", int64(code))
 		sp.End()
-		sess.log.InfoContext(ctx, "request",
-			"route", name, "method", r.Method, "session", id,
-			"status", code, "elapsed_ms", time.Since(start).Milliseconds())
+		if sw != nil && sw.ev != nil {
+			slow := s.opt.SlowRequest > 0 && time.Since(start) >= s.opt.SlowRequest
+			if slow {
+				sw.ev.Slow = true
+			}
+			if slow || code >= http.StatusInternalServerError {
+				sw.ev.Spans = sess.tracer.ExportSubtree(sp.ID())
+			}
+		}
 	}
 }
 
@@ -239,11 +321,18 @@ func (s *Server) release(sess *session) {
 
 // BeginShutdown stops admitting sessions and flips /readyz to 503, so
 // load balancers drain the instance while in-flight requests (and the
-// subsequent http.Server.Shutdown) complete.
+// subsequent http.Server.Shutdown) complete. If FlightDumpPath is set,
+// the flight record is dumped to disk as the drain begins — capturing
+// every request still in flight (the join a SIGTERM interrupted) while
+// the evidence is still fresh.
 func (s *Server) BeginShutdown() {
 	s.mu.Lock()
+	already := s.draining
 	s.draining = true
 	s.mu.Unlock()
+	if !already {
+		s.dumpFlightToDisk("drain")
+	}
 }
 
 // Close finishes every surviving session (ending trace spans and
@@ -267,6 +356,9 @@ func (s *Server) Close() {
 		s.closeSession(sess, "shutdown")
 	}
 	s.reg.Gauge("mc_serve_sessions_live").Set(0)
+	// Re-dump now that the drain completed: the file on disk ends up
+	// holding the whole shutdown story, completed requests included.
+	s.dumpFlightToDisk("close")
 }
 
 // janitor evicts idle sessions on a timer derived from IdleTimeout.

@@ -117,7 +117,20 @@ func (s *Server) closeSession(sess *session, reason string) {
 	if err != nil {
 		s.log.Error("ledger append failed", "session", sess.id, "err", err)
 	}
-	s.log.Info("session closed", "session", sess.id, "reason", reason)
+	s.transition(sess, closeTransition(reason))
+}
+
+// closeTransition maps a close reason onto the session transition name
+// the flight record uses.
+func closeTransition(reason string) string {
+	switch reason {
+	case "idle":
+		return "evicted_idle"
+	case "lru":
+		return "evicted_lru"
+	default: // "deleted", "shutdown"
+		return reason
+	}
 }
 
 // recordLocked appends the session's runlog record — one per completed
@@ -177,6 +190,7 @@ func (s *Server) admit(cfg sessionConfig) (*session, error) {
 	}
 	s.reg.Counter("mc_serve_sessions_created_total").Inc()
 	s.reg.Gauge("mc_serve_sessions_live").Set(float64(live))
+	s.transition(sess, "created")
 	return sess, nil
 }
 

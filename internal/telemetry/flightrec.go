@@ -1,0 +1,310 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a bounded, lock-striped ring of recent *wide events*
+// — one self-contained record per HTTP request or per session state
+// transition, carrying everything an operator needs to reconstruct
+// what a live server was doing (route, status, latency, session id,
+// trace id, bytes, error, and for slow requests the full span tree).
+//
+// The design is the black-box-recorder layer production services rely
+// on: recording is observe-only (a couple of atomic ops plus one
+// striped mutex, never on the join hot path), retention is bounded so
+// it can stay always-on, and the whole ring can be dumped on demand
+// (/debug/flightrecord), on SIGQUIT, or when a drain begins — i.e.
+// exactly when the evidence would otherwise be gone.
+//
+// Striping mirrors the metrics registry: events hash onto one of a
+// fixed number of stripes by sequence number (round-robin), so
+// concurrent request goroutines never contend on a single ring mutex.
+// A global atomic sequence number totally orders events across
+// stripes; Snapshot merges the stripes back into that order, which is
+// what makes the dump encoding deterministic for a given event set
+// (TestFlightDumpGolden pins the exact bytes).
+
+// FlightRecordSchema identifies the dump layout.
+const FlightRecordSchema = "mc.flightrecord/v1"
+
+// DefaultFlightCapacity is the default ring capacity (events retained).
+const DefaultFlightCapacity = 256
+
+// FlightEvent is one wide event. Zero-valued fields are omitted from
+// dumps, so request events and session-transition events share one
+// shape. Times are UnixNano so the encoding never depends on the
+// marshaling host's time zone database.
+type FlightEvent struct {
+	// Seq is the recorder-assigned total order (1-based). Zero until the
+	// event is recorded.
+	Seq uint64 `json:"seq,omitempty"`
+	// Time is the event's wall-clock time in Unix nanoseconds (stamped
+	// at Record when left zero).
+	Time int64 `json:"time_unix_nano,omitempty"`
+	// Kind is "request" (one per HTTP request, recorded at request end)
+	// or "session" (one per session state transition).
+	Kind string `json:"kind"`
+	// Route is the request's route name, or the session transition
+	// (created, finished, deleted, evicted_idle, evicted_lru, shutdown).
+	Route  string `json:"route,omitempty"`
+	Method string `json:"method,omitempty"`
+	Status int    `json:"status,omitempty"`
+	// Session is the session id the event belongs to, when any.
+	Session string `json:"session,omitempty"`
+	// TraceID / SpanID correlate the event with the session's trace tree
+	// and the structured log stream.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
+	// DurMicros is the request latency in microseconds.
+	DurMicros int64 `json:"dur_us,omitempty"`
+	BytesIn   int64 `json:"bytes_in,omitempty"`
+	BytesOut  int64 `json:"bytes_out,omitempty"`
+	// Err is the error message answered to the client, if any.
+	Err string `json:"error,omitempty"`
+	// Slow marks a request that tripped the slow-request watchdog; such
+	// events carry their span subtree in Spans.
+	Slow bool `json:"slow,omitempty"`
+	// Inflight marks a request that had not completed when the dump was
+	// taken (Status/DurMicros are unset: the request is still running).
+	Inflight bool `json:"inflight,omitempty"`
+	// Spans is the request's exported span subtree (slow or errored
+	// requests only — the watchdog copies it in so post-hoc debugging
+	// does not depend on the tracer still holding the spans).
+	Spans []ExportedSpan `json:"spans,omitempty"`
+}
+
+// flightStripes is the lock-stripe width of a FlightRecorder.
+const flightStripes = 8
+
+type flightStripe struct {
+	mu   sync.Mutex
+	ring []FlightEvent
+	next int
+	n    int // events currently held
+}
+
+// FlightRecorder retains the most recent events in a fixed-capacity
+// ring. All methods are safe for concurrent use and safe on a nil
+// receiver (no-ops), so callers never branch on "is recording enabled".
+type FlightRecorder struct {
+	seq      atomic.Uint64
+	recorded atomic.Uint64
+	perRing  int
+	stripes  [flightStripes]flightStripe
+}
+
+// NewFlightRecorder creates a recorder retaining about capacity events
+// (rounded up to a multiple of the stripe width; capacity <= 0 selects
+// DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	per := (capacity + flightStripes - 1) / flightStripes
+	fr := &FlightRecorder{perRing: per}
+	for i := range fr.stripes {
+		fr.stripes[i].ring = make([]FlightEvent, per)
+	}
+	return fr
+}
+
+// Capacity returns the number of events the ring retains.
+func (fr *FlightRecorder) Capacity() int {
+	if fr == nil {
+		return 0
+	}
+	return fr.perRing * flightStripes
+}
+
+// Record assigns the event its sequence number and appends it,
+// overwriting the stripe's oldest event at capacity. It returns the
+// assigned sequence number (0 on a nil recorder).
+func (fr *FlightRecorder) Record(ev FlightEvent) uint64 {
+	if fr == nil {
+		return 0
+	}
+	seq := fr.seq.Add(1)
+	ev.Seq = seq
+	if ev.Time == 0 {
+		ev.Time = time.Now().UnixNano()
+	}
+	fr.recorded.Add(1)
+	st := &fr.stripes[seq%flightStripes]
+	st.mu.Lock()
+	st.ring[st.next] = ev
+	st.next = (st.next + 1) % len(st.ring)
+	if st.n < len(st.ring) {
+		st.n++
+	}
+	st.mu.Unlock()
+	return seq
+}
+
+// Recorded returns the total number of events ever recorded.
+func (fr *FlightRecorder) Recorded() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.recorded.Load()
+}
+
+// Snapshot returns the retained events in sequence order.
+func (fr *FlightRecorder) Snapshot() []FlightEvent {
+	if fr == nil {
+		return nil
+	}
+	var out []FlightEvent
+	for i := range fr.stripes {
+		st := &fr.stripes[i]
+		st.mu.Lock()
+		for j := 0; j < st.n; j++ {
+			out = append(out, st.ring[j])
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// FlightDump is the on-demand serialization of a recorder: the retained
+// events, any caller-supplied in-flight events, loss accounting, and
+// the machine context sampled at dump time. Field order is fixed by the
+// struct and maps marshal with sorted keys, so for a given event set
+// the encoding is byte-deterministic.
+type FlightDump struct {
+	Schema string `json:"schema"`
+	// Reason says what triggered the dump: "http" (/debug/flightrecord),
+	// "sigquit", "drain", "close".
+	Reason string `json:"reason,omitempty"`
+	// Time is the dump's wall-clock time in Unix nanoseconds (0 when the
+	// caller wants a deterministic dump).
+	Time int64 `json:"time_unix_nano,omitempty"`
+	// Recorded / Retained / Dropped account for ring overwrite loss:
+	// Dropped = Recorded - Retained events have already been evicted.
+	Recorded uint64     `json:"recorded"`
+	Retained int        `json:"retained"`
+	Dropped  uint64     `json:"dropped"`
+	Build    *BuildInfo `json:"build,omitempty"`
+	// Runtime carries the mc_runtime_* gauge values sampled at dump
+	// time, so every dump records the machine state it was taken under.
+	Runtime map[string]float64 `json:"runtime,omitempty"`
+	// Inflight are requests still running at dump time, oldest first —
+	// the evidence a post-mortem needs when a request never finished.
+	Inflight []FlightEvent `json:"inflight,omitempty"`
+	Events   []FlightEvent `json:"events"`
+}
+
+// Dump builds a FlightDump of the recorder's current state. The dump is
+// bare (no timestamp, build, or runtime context): deterministic for a
+// given event set, which is what the golden test and the serve-layer
+// tests rely on. Callers wanting machine context call Stamp.
+func (fr *FlightRecorder) Dump() *FlightDump {
+	events := fr.Snapshot()
+	if events == nil {
+		events = []FlightEvent{}
+	}
+	recorded := fr.Recorded()
+	return &FlightDump{
+		Schema:   FlightRecordSchema,
+		Recorded: recorded,
+		Retained: len(events),
+		Dropped:  recorded - uint64(len(events)),
+		Events:   events,
+	}
+}
+
+// Stamp attaches the nondeterministic machine context to a dump: the
+// wall-clock time, the build identity, and the mc_runtime_* gauges
+// captured into reg (nil reg skips the runtime section).
+func (d *FlightDump) Stamp(reason string, reg *Registry) *FlightDump {
+	d.Reason = reason
+	d.Time = time.Now().UnixNano()
+	b := ReadBuild()
+	d.Build = &b
+	if reg != nil {
+		reg.CaptureRuntime()
+		snap := reg.Snapshot()
+		rt := map[string]float64{}
+		for _, key := range sortedGaugeKeys(snap.Gauges) {
+			if strings.HasPrefix(key, "mc_runtime_") {
+				rt[key] = snap.Gauges[key]
+			}
+		}
+		if len(rt) > 0 {
+			d.Runtime = rt
+		}
+	}
+	return d
+}
+
+// sortedGaugeKeys returns the map's keys sorted (deterministic
+// iteration; the mapiter analyzer bans raw map-range appends).
+func sortedGaugeKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON writes the dump as indented JSON. Encoding is deterministic
+// for a given dump value: struct field order is fixed and map keys
+// marshal sorted.
+func (d *FlightDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteFile atomically writes the dump to path (temp file + rename), so
+// a dump racing a reader — or a second dump overwriting the first —
+// never leaves a torn file.
+func (d *FlightDump) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("telemetry: flight dump %s: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".flight-*.json")
+	if err != nil {
+		return fmt.Errorf("telemetry: flight dump %s: %w", path, err)
+	}
+	if err := d.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: flight dump %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: flight dump %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: flight dump %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFlightDump parses a dump previously written with WriteJSON or
+// WriteFile (used by mctop and the smoke assertions).
+func ReadFlightDump(r io.Reader) (*FlightDump, error) {
+	var d FlightDump
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("telemetry: flight dump: %w", err)
+	}
+	if !strings.HasPrefix(d.Schema, "mc.flightrecord/") {
+		return nil, fmt.Errorf("telemetry: flight dump: schema %q is not a flight record", d.Schema)
+	}
+	return &d, nil
+}

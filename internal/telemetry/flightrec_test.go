@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderOrderAndBounds(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	if got := fr.Capacity(); got != 16 {
+		t.Fatalf("Capacity() = %d, want 16", got)
+	}
+	for i := 0; i < 40; i++ {
+		fr.Record(FlightEvent{Time: int64(i + 1), Kind: "request"})
+	}
+	evs := fr.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	// Round-robin striping means the survivors are exactly the last 16
+	// sequence numbers.
+	if evs[0].Seq != 25 || evs[len(evs)-1].Seq != 40 {
+		t.Errorf("retained seq range [%d, %d], want [25, 40]", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+	d := fr.Dump()
+	if d.Recorded != 40 || d.Retained != 16 || d.Dropped != 24 {
+		t.Errorf("dump accounting = %d/%d/%d, want 40/16/24", d.Recorded, d.Retained, d.Dropped)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	if seq := fr.Record(FlightEvent{Kind: "request"}); seq != 0 {
+		t.Errorf("nil recorder assigned seq %d", seq)
+	}
+	if fr.Snapshot() != nil || fr.Recorded() != 0 || fr.Capacity() != 0 {
+		t.Error("nil recorder is not a no-op")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				fr.Record(FlightEvent{Time: 1, Kind: "request"})
+			}
+		}()
+	}
+	wg.Wait()
+	evs := fr.Snapshot()
+	if len(evs) != 800 {
+		t.Fatalf("retained %d events, want 800", len(evs))
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+// TestFlightDumpGolden pins the dump encoding byte-for-byte: the dump
+// is the post-mortem artifact operators diff and the smoke test greps,
+// so its encoding must be deterministic for a given event set.
+func TestFlightDumpGolden(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(FlightEvent{
+		Time: 1000, Kind: "request", Route: "join", Method: "POST",
+		Status: 200, Session: "s000001", TraceID: 1, SpanID: 2,
+		DurMicros: 1500, BytesIn: 10, BytesOut: 20,
+	})
+	fr.Record(FlightEvent{Time: 2000, Kind: "session", Route: "created", Session: "s000002"})
+
+	const want = `{
+  "schema": "mc.flightrecord/v1",
+  "recorded": 2,
+  "retained": 2,
+  "dropped": 0,
+  "events": [
+    {
+      "seq": 1,
+      "time_unix_nano": 1000,
+      "kind": "request",
+      "route": "join",
+      "method": "POST",
+      "status": 200,
+      "session": "s000001",
+      "trace_id": 1,
+      "span_id": 2,
+      "dur_us": 1500,
+      "bytes_in": 10,
+      "bytes_out": 20
+    },
+    {
+      "seq": 2,
+      "time_unix_nano": 2000,
+      "kind": "session",
+      "route": "created",
+      "session": "s000002"
+    }
+  ]
+}
+`
+	var buf bytes.Buffer
+	if err := fr.Dump().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want {
+		t.Errorf("dump encoding drifted:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	// Same events, same bytes — encode again and byte-compare.
+	var buf2 bytes.Buffer
+	if err := fr.Dump().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two dumps of the same event set differ")
+	}
+}
+
+func TestFlightDumpStampAndRead(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(FlightEvent{Kind: "request", Route: "healthz", Status: 200})
+	reg := New()
+	d := fr.Dump().Stamp("sigquit", reg)
+	if d.Reason != "sigquit" || d.Time == 0 || d.Build == nil {
+		t.Fatalf("stamp incomplete: %+v", d)
+	}
+	if len(d.Runtime) == 0 {
+		t.Fatal("stamped dump lacks mc_runtime_* context")
+	}
+	for _, key := range sortedGaugeKeys(d.Runtime) {
+		if !strings.HasPrefix(key, "mc_runtime_") {
+			t.Errorf("runtime section carries non-runtime key %q", key)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadFlightDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != "sigquit" || len(got.Events) != 1 || got.Events[0].Route != "healthz" {
+		t.Errorf("roundtrip dump = %+v", got)
+	}
+}
+
+func TestReadFlightDumpRejectsForeignSchema(t *testing.T) {
+	_, err := ReadFlightDump(strings.NewReader(`{"schema":"mc.runlog/v1"}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("foreign schema accepted: %v", err)
+	}
+}
+
+func TestExportSubtree(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("serve.session")
+	req1 := root.Child("serve.request", L("route", "join"))
+	j := req1.Child("ssjoin.joinall")
+	j.End()
+	req1.End()
+	req2 := root.Child("serve.request", L("route", "report"))
+	req2.End()
+
+	sub := tr.ExportSubtree(req1.ID())
+	if len(sub) != 2 {
+		t.Fatalf("subtree has %d spans, want 2 (request + join):\n%+v", len(sub), sub)
+	}
+	names := map[string]bool{}
+	for _, s := range sub {
+		names[s.Name] = true
+	}
+	if !names["serve.request"] || !names["ssjoin.joinall"] {
+		t.Errorf("subtree spans = %v", names)
+	}
+	if got := tr.ExportSubtree(99999); got != nil {
+		t.Errorf("unknown root returned %d spans", len(got))
+	}
+	var nilT *Tracer
+	if got := nilT.ExportSubtree(1); got != nil {
+		t.Error("nil tracer subtree not nil")
+	}
+}

@@ -51,6 +51,10 @@ func (r *Registry) CaptureRuntime() {
 	r.SetHelp(runtimeUptime, "Seconds since process start.")
 	r.Gauge(runtimeUptime).Set(time.Since(processStart).Seconds())
 
+	// The runtime/metrics bridge: scheduler and GC latency gauges the
+	// MemStats view cannot provide (see runtimemetrics.go).
+	r.captureRuntimeMetrics()
+
 	b := ReadBuild()
 	r.SetHelp(buildInfoGauge, "Build identity; value is always 1, the identity lives in the labels.")
 	r.Gauge(buildInfoGauge,

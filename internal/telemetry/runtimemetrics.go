@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Runtime bridge: gauges backed by the runtime/metrics package,
+// registered under the reserved mc_runtime_* namespace alongside the
+// MemStats-derived gauges in runtime.go. CaptureRuntime samples them on
+// every /metrics scrape, every ledger attach, and every stamped flight
+// dump, so operational surfaces always carry current scheduler and GC
+// state without the pipeline paying for continuous collection.
+//
+// Everything here is sample-on-demand: runtime/metrics reads are cheap
+// (no stop-the-world), and the sample slice is rebuilt per call so
+// concurrent captures never share mutable state.
+
+// The runtime/metrics names we bridge. All are stable names documented
+// by the runtime/metrics package; readRuntimeMetrics tolerates any of
+// them missing (KindBad) so a toolchain that drops one cannot panic the
+// scrape path.
+const (
+	rmHeapLive      = "/memory/classes/heap/objects:bytes"
+	rmGCPauses      = "/gc/pauses:seconds"
+	rmSchedLatency  = "/sched/latencies:seconds"
+	rmGoroutines    = "/sched/goroutines:goroutines"
+	rmGCCyclesTotal = "/gc/cycles/total:gc-cycles"
+)
+
+// The bridged gauge names (reserved namespace; see runtime.go).
+const (
+	runtimeHeapLive     = "mc_runtime_heap_live_bytes"
+	runtimeGCPauseP99   = "mc_runtime_gc_pause_p99_seconds"
+	runtimeSchedLatency = "mc_runtime_sched_latency_p99_seconds"
+	runtimeGCCycles     = "mc_runtime_gc_cycles_total"
+)
+
+// captureRuntimeMetrics samples the runtime/metrics bridge into r.
+// Called by CaptureRuntime; never on a hot path.
+func (r *Registry) captureRuntimeMetrics() {
+	samples := []metrics.Sample{
+		{Name: rmHeapLive},
+		{Name: rmGCPauses},
+		{Name: rmSchedLatency},
+		{Name: rmGoroutines},
+		{Name: rmGCCyclesTotal},
+	}
+	metrics.Read(samples)
+	for i := range samples {
+		s := &samples[i]
+		switch s.Name {
+		case rmHeapLive:
+			if v, ok := sampleFloat(s); ok {
+				r.SetHelp(runtimeHeapLive, "Bytes of live heap objects (runtime/metrics /memory/classes/heap/objects).")
+				r.Gauge(runtimeHeapLive).Set(v)
+			}
+		case rmGCPauses:
+			if v, ok := sampleHistQuantile(s, 0.99); ok {
+				r.SetHelp(runtimeGCPauseP99, "p99 GC stop-the-world pause latency in seconds (runtime/metrics /gc/pauses).")
+				r.Gauge(runtimeGCPauseP99).Set(v)
+			}
+		case rmSchedLatency:
+			if v, ok := sampleHistQuantile(s, 0.99); ok {
+				r.SetHelp(runtimeSchedLatency, "p99 goroutine scheduling latency in seconds (runtime/metrics /sched/latencies).")
+				r.Gauge(runtimeSchedLatency).Set(v)
+			}
+		case rmGoroutines:
+			// NumGoroutine already feeds mc_runtime_goroutines in
+			// CaptureRuntime; the runtime/metrics reading would double it.
+		case rmGCCyclesTotal:
+			if v, ok := sampleFloat(s); ok {
+				r.SetHelp(runtimeGCCycles, "Completed GC cycles since process start (runtime/metrics /gc/cycles/total).")
+				r.Gauge(runtimeGCCycles).Set(v)
+			}
+		}
+	}
+}
+
+// sampleFloat extracts a scalar sample as float64.
+func sampleFloat(s *metrics.Sample) (float64, bool) {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64()), true
+	case metrics.KindFloat64:
+		return s.Value.Float64(), true
+	default:
+		return 0, false
+	}
+}
+
+// sampleHistQuantile estimates quantile q of a runtime/metrics
+// Float64Histogram as the upper bucket boundary where the cumulative
+// count crosses q*total (the same bucket-bound estimate the registry's
+// own histograms use). An empty or missing histogram reports (0, true)
+// for present-but-empty and (0, false) for missing, so quiet processes
+// still expose a zero gauge.
+func sampleHistQuantile(s *metrics.Sample, q float64) (float64, bool) {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0, false
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return 0, false
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, true
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans (Buckets[i], Buckets[i+1]]; report the upper
+			// bound, substituting the highest finite boundary for +Inf.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i]
+			}
+			if math.IsInf(ub, -1) {
+				ub = 0
+			}
+			return ub, true
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1], true
+}

@@ -102,6 +102,47 @@ func (t *Tracer) Export() []ExportedSpan {
 	return out
 }
 
+// ExportSubtree exports the span subtree rooted at the span with id
+// rootID: the root plus every retained descendant, in Export's
+// deterministic (start, id) order. An unknown id yields nil. This is
+// the slow-request watchdog's copy path: the subtree is snapshotted
+// into the flight event so it survives the tracer's retention cap.
+func (t *Tracer) ExportSubtree(rootID uint64) []ExportedSpan {
+	if t == nil || rootID == 0 {
+		return nil
+	}
+	spans := t.Export()
+	children := make(map[uint64][]int, len(spans))
+	byID := make(map[uint64]int, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = i
+		children[spans[i].ParentID] = append(children[spans[i].ParentID], i)
+	}
+	if _, ok := byID[rootID]; !ok {
+		return nil
+	}
+	keep := map[uint64]bool{}
+	stack := []uint64{rootID}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if keep[id] {
+			continue
+		}
+		keep[id] = true
+		for _, ci := range children[id] {
+			stack = append(stack, spans[ci].ID)
+		}
+	}
+	out := make([]ExportedSpan, 0, len(keep))
+	for i := range spans { // spans is sorted; preserve that order
+		if keep[spans[i].ID] {
+			out = append(out, spans[i])
+		}
+	}
+	return out
+}
+
 // spanNode is an ExportedSpan with resolved children, for tree walks.
 type spanNode struct {
 	ExportedSpan

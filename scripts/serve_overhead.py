@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Enforce the flight-recorder overhead budget on the serve envelope.
+
+Reads concatenated `go test -bench` output (file argument, or stdin)
+from several repeated invocations of the paired internal/serve
+benchmarks
+
+    BenchmarkServeRequestRecorderOn / ...RecorderOff
+    BenchmarkServeSessionRequestRecorderOn / ...RecorderOff
+
+and exits 1 if any pair's overhead exceeds the budget (default 5%,
+override with SERVE_OVERHEAD_BOUND_PCT).
+
+Methodology — what keeps a 5% gate honest on shared, noisy runners:
+
+  * The two arms run in the same process on the same machine, so the
+    on/off *ratio* is meaningful where absolute nanoseconds are not.
+  * Each benchmark invocation runs an On rep and its Off twin within a
+    couple of seconds of each other, so pairing the k-th On sample
+    with the k-th Off sample compares timings taken under correlated
+    load. (A single `go test -count N` run is NOT paired like this:
+    it groups all N On reps, then all N Off reps, and slow drift in
+    runner load biases every summary statistic.)
+  * The gate statistic is the median of the per-invocation ratios,
+    which discards invocations where a load spike landed on one arm.
+
+Drive it with a loop, e.g.:
+
+    for i in $(seq 6); do
+        go test ./internal/serve -run '^$' -bench Recorder -cpu 1 \
+            -benchtime .5s >> serve-bench.out
+    done
+    python3 scripts/serve_overhead.py serve-bench.out
+
+BENCH_serve_overhead.json + `mcperf check` separately track absolute
+drift on hardware comparable to the committed baseline's.
+"""
+
+import os
+import re
+import statistics
+import sys
+
+LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op")
+
+
+def parse(stream):
+    """Map benchmark name -> ns/op samples in file order."""
+    samples = {}
+    for line in stream:
+        m = LINE.match(line)
+        if m:
+            samples.setdefault(m.group(1), []).append(float(m.group(2)))
+    return samples
+
+
+def main():
+    stream = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    samples = parse(stream)
+    bound = float(os.environ.get("SERVE_OVERHEAD_BOUND_PCT", "5.0"))
+    pairs = sorted(n[: -len("On")] for n in samples if n.endswith("RecorderOn"))
+    if not pairs:
+        sys.exit("serve_overhead: no RecorderOn benchmarks in input")
+    failed = False
+    for base in pairs:
+        on, off = samples.get(base + "On", []), samples.get(base + "Off", [])
+        k = min(len(on), len(off))
+        if k == 0:
+            sys.exit(f"serve_overhead: missing arm for {base}")
+        ratios = [on[i] / off[i] for i in range(k) if off[i] > 0]
+        if not ratios:
+            sys.exit(f"serve_overhead: no usable samples for {base}")
+        pct = (statistics.median(ratios) - 1.0) * 100.0
+        verdict = "ok" if pct <= bound else "OVER BUDGET"
+        print(
+            f"{base}: median paired on/off ratio over {len(ratios)} "
+            f"invocation(s): overhead {pct:+.1f}% "
+            f"(budget {bound:.1f}%) {verdict}"
+        )
+        failed = failed or pct > bound
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,13 +13,29 @@
 #      flight: the join must still answer 200 (graceful drain), the
 #      process must exit 0, and the ledger must hold one runlog record
 #      per completed session.
+#   6. Flight recorder: /debug/flightrecord must answer a parseable dump
+#      while the server is up; the SIGTERM drain auto-dump must carry
+#      the in-flight join's request event (checked by the client while
+#      the join is running); the final close dump must survive on disk
+#      with the completed join event.
+#
+# On failure, set MCSERVE_SMOKE_ARTIFACTS to a directory to keep the
+# flight dumps, server log, and ledger for post-mortem (CI uploads them
+# as a workflow artifact).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 TMP="$(mktemp -d)"
 SRV_PID=""
 cleanup() {
+    rc=$?
     [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    if [ "$rc" != 0 ] && [ -n "${MCSERVE_SMOKE_ARTIFACTS:-}" ]; then
+        mkdir -p "$MCSERVE_SMOKE_ARTIFACTS"
+        for f in flight.json flight_drain.json mcserve.log ledger.jsonl; do
+            [ -f "$TMP/$f" ] && cp -f "$TMP/$f" "$MCSERVE_SMOKE_ARTIFACTS/" || true
+        done
+    fi
     rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -42,6 +58,7 @@ echo "== CLI reference session"
 
 echo "== start mcserve"
 "$TMP/mcserve" -addr "127.0.0.1:$PORT" -ledger "$TMP/ledger.jsonl" \
+    -flight-dump "$TMP/flight.json" \
     2>"$TMP/mcserve.log" &
 SRV_PID=$!
 
@@ -58,6 +75,8 @@ fi
 curl -fsS "$BASE/readyz" >/dev/null
 curl -fsS "$BASE/metrics" | grep -q '^mc_serve_sessions_live' \
     || { echo "missing mc_serve_sessions_live on /metrics" >&2; exit 1; }
+curl -fsS "$BASE/debug/flightrecord" | grep -q '"schema": "mc.flightrecord/v1"' \
+    || { echo "/debug/flightrecord did not answer a flight-record dump" >&2; exit 1; }
 
 echo "== scripted HTTP session + SIGTERM drain"
 python3 scripts/smoke_mcserve_client.py \
@@ -76,6 +95,29 @@ if [ "$rc" != 0 ]; then
     cat "$TMP/mcserve.log" >&2
     exit 1
 fi
+
+echo "== flight-record auto-dumps"
+# The drain-time dump was verified (and preserved) by the client while
+# the join was still in flight; re-assert the preserved copy here.
+if [ ! -f "$TMP/flight_drain.json" ]; then
+    echo "client did not preserve the SIGTERM drain flight dump" >&2
+    exit 1
+fi
+grep -q '"route": "join"' "$TMP/flight_drain.json" \
+    || { echo "drain flight dump lacks the in-flight join's request event" >&2
+         cat "$TMP/flight_drain.json" >&2; exit 1; }
+# The close-time dump overwrites the drain dump on clean exit: the
+# completed story, with the join as a finished request event.
+if [ ! -f "$TMP/flight.json" ]; then
+    echo "mcserve exited without writing the final flight dump" >&2
+    exit 1
+fi
+grep -q '"reason": "close"' "$TMP/flight.json" \
+    || { echo "final flight dump is not the close dump" >&2
+         cat "$TMP/flight.json" >&2; exit 1; }
+grep -q '"route": "join"' "$TMP/flight.json" \
+    || { echo "final flight dump lacks the join request event" >&2
+         cat "$TMP/flight.json" >&2; exit 1; }
 
 records=$(grep -c '"tool":"mcserve"' "$TMP/ledger.jsonl")
 if [ "$records" != 2 ]; then

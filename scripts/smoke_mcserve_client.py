@@ -6,13 +6,17 @@ response shape along the way, and writes the canonical report for the
 byte-compare against the CLI's.
 
 Phase 2 is the graceful-drain check: it starts a 5x-scale join, sends
-the server SIGTERM while the join is in flight, and asserts the join
-still answers 200 before the process exits.
+the server SIGTERM while the join is in flight, asserts the drain-time
+flight-record auto-dump carries the join as an in-flight request event
+(preserving a copy as flight_drain.json before the close dump
+overwrites it), and asserts the join still answers 200 before the
+process exits.
 """
 
 import csv
 import json
 import os
+import shutil
 import signal
 import sys
 import threading
@@ -120,6 +124,44 @@ expect("GET", f"{su}", 404)
 result = {}
 
 
+def check_drain_dump():
+    """Assert the SIGTERM auto-dump carries the in-flight join.
+
+    BeginShutdown writes the "drain" dump the moment SIGTERM lands,
+    while the 5x-scale join is still running, so its inflight section
+    must hold the join's request event. The dump is preserved as
+    flight_drain.json because the close-time dump overwrites the file
+    on clean exit. If the join outraced our first read (the file already
+    says "close"), the completed join event stands in as the evidence.
+    """
+    path = os.path.join(TMP, "flight.json")
+    keep = os.path.join(TMP, "flight_drain.json")
+    deadline = time.time() + 15
+    while time.time() < deadline:
+        try:
+            with open(path) as f:
+                d = json.load(f)
+        except (OSError, ValueError):
+            time.sleep(0.05)
+            continue
+        if d.get("reason") == "drain":
+            joins = [e for e in d.get("inflight") or [] if e.get("route") == "join"]
+            if not joins:
+                sys.exit(f"drain dump lacks the in-flight join: {d.get('inflight')}")
+            if not joins[0].get("inflight") or joins[0].get("kind") != "request":
+                sys.exit(f"drain dump join event malformed: {joins[0]}")
+            shutil.copyfile(path, keep)
+            return
+        if d.get("reason") == "close" and any(
+            e.get("route") == "join" and e.get("kind") == "request"
+            for e in d.get("events", [])
+        ):
+            shutil.copyfile(path, keep)
+            return
+        time.sleep(0.05)
+    sys.exit("no flight-record auto-dump appeared after SIGTERM")
+
+
 def drive_drain(su):
     def do_join():
         result["code"], _ = req("POST", f"{su}/join")
@@ -128,6 +170,7 @@ def drive_drain(su):
     t.start()
     time.sleep(0.5)  # let the join get going
     os.kill(SRV_PID, signal.SIGTERM)
+    check_drain_dump()
     t.join(timeout=120)
     if t.is_alive():
         sys.exit("join did not return after SIGTERM: drain hung")
