@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet mclint lint vuln fuzz-smoke perf-baseline perf-check parallel-bench serve-smoke serve-overhead-bench serve-overhead-baseline serve-overhead-check
+.PHONY: all build test race vet mclint lint-hotalloc lint vuln fuzz-smoke perf-baseline perf-check parallel-bench serve-smoke serve-overhead-bench serve-overhead-baseline serve-overhead-check
 
 all: build test
 
@@ -22,13 +22,24 @@ vet:
 	$(GO) vet ./...
 
 # mclint enforces the determinism/telemetry/concurrency invariants
-# (mapiter, seededrand, metricname, spanend, floatcmp). Suppressions
+# (mapiter, seededrand, metricname, spanend, floatcmp, lockorder,
+# ctxflow, statemachine, atomicmix, hotalloc). Suppressions
 # (//lint:allow <analyzer> <reason>) are counted in the summary, never
 # silent. See DESIGN.md "Static Analysis & Invariants".
 mclint:
 	$(GO) run ./cmd/mclint -summary ./...
 
-lint: vet mclint
+# lint-hotalloc is the escape-analysis half of the //mc:hotpath
+# contract: it recompiles the module with -gcflags=-m and feeds the
+# compiler's "escapes to heap" / "moved to heap" diagnostics to the
+# hotalloc analyzer, mechanically proving the annotated hot paths
+# (ssjoin heap sifts, FlightRecorder.Record) stay allocation-free.
+# It is a separate target because the -gcflags=-m compile does not
+# share the plain build cache.
+lint-hotalloc:
+	$(GO) run ./cmd/mclint -escapes -only hotalloc -summary ./...
+
+lint: vet mclint lint-hotalloc
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -9,6 +9,7 @@
 //	mclint ./...
 //	mclint -summary ./internal/... ./cmd/...
 //	mclint -only mapiter,floatcmp ./internal/ssjoin
+//	mclint -escapes ./...   (compile with -gcflags=-m so hotalloc sees heap escapes)
 //
 // Exit status: 0 when no active diagnostics were found, 1 when at
 // least one diagnostic was reported, 2 on usage or load errors.
@@ -43,6 +44,7 @@ type options struct {
 	jsonOut  bool
 	only     string
 	listOnly bool
+	escapes  bool
 }
 
 func run(args []string, dir string, stdout, stderr io.Writer) int {
@@ -53,6 +55,7 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.jsonOut, "json", false, "emit findings as JSON")
 	fs.StringVar(&o.only, "only", "", "comma-separated analyzer names to run (default: all)")
 	fs.BoolVar(&o.listOnly, "list", false, "list available analyzers and exit")
+	fs.BoolVar(&o.escapes, "escapes", false, "compile with -gcflags=-m and feed escape diagnostics to hotalloc")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: mclint [flags] [packages]\n")
 		fs.PrintDefaults()
@@ -91,6 +94,14 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "mclint: %v\n", err)
 		return 2
+	}
+	if o.escapes {
+		diags, err := lint.LoadEscapes(dir, patterns...)
+		if err != nil {
+			fmt.Fprintf(stderr, "mclint: %v\n", err)
+			return 2
+		}
+		lint.AttachEscapes(pkgs, diags)
 	}
 	res, err := lint.Run(analyzers, pkgs)
 	if err != nil {

@@ -26,7 +26,7 @@ func runMclint(t *testing.T, args ...string) (code int, stdout, stderr string) {
 // diagnostic per analyzer, each with its distinctive message, at the
 // expected file.
 func TestDirtyModuleFiresEveryAnalyzer(t *testing.T) {
-	code, out, errb := runMclint(t, "-summary", "./dirty")
+	code, out, errb := runMclint(t, "-summary", "./dirty", "./serve")
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errb)
 	}
@@ -36,16 +36,25 @@ func TestDirtyModuleFiresEveryAnalyzer(t *testing.T) {
 		`metricname: metric name "mc_clean_items_total" claims package segment "clean" but is registered from package "dirty"`,
 		`spanend: span "s" from Tracer.Start is never ended in this function`,
 		"floatcmp: exact == between computed floats",
+		"lockorder: acquiring srv.mu (lock rank 1) while holding sess.mu (rank 2) inverts the lock hierarchy",
+		"statemachine: phase field written outside a //mc:statetransition function",
+		"atomicmix: plain access to matchcatcher/fixturemod/dirty.counters.hits",
+		"hotalloc: map iteration in hot path sumHot",
+		"ctxflow: context.Background() in the serve layer severs request cancellation",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("stdout missing %q\ngot:\n%s", want, out)
 		}
 	}
-	if n := strings.Count(out, "dirty.go:"); n != 6 {
-		// 5 active + 1 suppressed (listed by -summary).
-		t.Errorf("found %d dirty.go diagnostics, want 6 (5 active + 1 suppressed)\n%s", n, out)
+	if n := strings.Count(out, "dirty.go:"); n != 11 {
+		// 9 active + 1 suppressed (listed by -summary) + the atomic-site
+		// position embedded in the atomicmix message.
+		t.Errorf("found %d dirty.go mentions, want 11 (9 active + 1 suppressed + 1 embedded site)\n%s", n, out)
 	}
-	if !strings.Contains(out, "5 finding(s), 1 suppressed") {
+	if n := strings.Count(out, "serve.go:"); n != 1 {
+		t.Errorf("found %d serve.go diagnostics, want 1 (the ctxflow seed)\n%s", n, out)
+	}
+	if !strings.Contains(out, "10 finding(s), 1 suppressed") {
 		t.Errorf("summary totals missing from:\n%s", out)
 	}
 	if !strings.Contains(out, "end-to-end suppression accounting") {
@@ -54,9 +63,9 @@ func TestDirtyModuleFiresEveryAnalyzer(t *testing.T) {
 }
 
 // TestCleanModuleExitsZero asserts the approved idioms produce no
-// findings.
+// findings, even with compiler escape data feeding hotalloc.
 func TestCleanModuleExitsZero(t *testing.T) {
-	code, out, errb := runMclint(t, "./clean")
+	code, out, errb := runMclint(t, "-escapes", "./clean")
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errb)
 	}
@@ -75,17 +84,61 @@ func TestOnlyRestrictsAnalyzers(t *testing.T) {
 	if !strings.Contains(out, "seededrand:") {
 		t.Errorf("missing seededrand finding:\n%s", out)
 	}
-	for _, other := range []string{"mapiter:", "metricname:", "spanend:", "floatcmp:"} {
+	for _, other := range []string{"mapiter:", "metricname:", "spanend:", "floatcmp:", "lockorder:", "ctxflow:", "statemachine:", "atomicmix:", "hotalloc:"} {
 		if strings.Contains(out, other) {
 			t.Errorf("-only seededrand leaked %s finding:\n%s", other, out)
 		}
 	}
 }
 
+// TestOnlyAcceptsAnalyzerList runs a comma-separated analyzer pair over
+// both fixture packages and expects exactly their findings.
+func TestOnlyAcceptsAnalyzerList(t *testing.T) {
+	code, out, _ := runMclint(t, "-only", "lockorder,ctxflow", "./dirty", "./serve")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"lockorder:", "ctxflow:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s finding:\n%s", want, out)
+		}
+	}
+	for _, other := range []string{"mapiter:", "seededrand:", "metricname:", "spanend:", "statemachine:", "atomicmix:", "hotalloc:"} {
+		if strings.Contains(out, other) {
+			t.Errorf("-only lockorder,ctxflow leaked %s finding:\n%s", other, out)
+		}
+	}
+}
+
+// TestEscapesFeedsHotalloc proves the -escapes flag changes hotalloc's
+// verdict: the seeded pointer-escape is invisible to the syntactic
+// checks and appears only when compiler escape data is loaded.
+func TestEscapesFeedsHotalloc(t *testing.T) {
+	code, out, _ := runMclint(t, "-only", "hotalloc", "./dirty")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if strings.Contains(out, "moved to heap") {
+		t.Errorf("escape finding reported without -escapes:\n%s", out)
+	}
+	// The dirty fixture's floatcmp suppression must not be called stale
+	// here: floatcmp did not run, so the directive is unverifiable.
+	if strings.Contains(out, "unused //lint:allow") {
+		t.Errorf("-only run flagged a directive for an analyzer that did not run:\n%s", out)
+	}
+	code, out, _ = runMclint(t, "-escapes", "-only", "hotalloc", "./dirty")
+	if code != 1 {
+		t.Fatalf("-escapes exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "hot path escapes allocates: moved to heap: x") {
+		t.Errorf("-escapes missing the compiler escape finding:\n%s", out)
+	}
+}
+
 // TestJSONOutput checks the machine-readable form round-trips and
 // carries the suppression flag.
 func TestJSONOutput(t *testing.T) {
-	code, out, _ := runMclint(t, "-json", "./dirty")
+	code, out, _ := runMclint(t, "-json", "./dirty", "./serve")
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1\n%s", code, out)
 	}
@@ -99,8 +152,8 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &findings); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out)
 	}
-	if len(findings) != 6 {
-		t.Fatalf("JSON findings = %d, want 6 (5 active + 1 suppressed)", len(findings))
+	if len(findings) != 11 {
+		t.Fatalf("JSON findings = %d, want 11 (10 active + 1 suppressed)", len(findings))
 	}
 	suppressed := 0
 	for _, f := range findings {
@@ -122,7 +175,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\n%s", code, out)
 	}
-	for _, name := range []string{"floatcmp", "mapiter", "metricname", "seededrand", "spanend"} {
+	for _, name := range []string{
+		"atomicmix", "ctxflow", "floatcmp", "hotalloc", "lockorder",
+		"mapiter", "metricname", "seededrand", "spanend", "statemachine",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list missing analyzer %s:\n%s", name, out)
 		}

@@ -3,8 +3,11 @@
 package clean
 
 import (
+	"context"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"matchcatcher/internal/floats"
 	"matchcatcher/internal/telemetry"
@@ -41,4 +44,79 @@ func Traced(tr *telemetry.Tracer) {
 // Close compares through the approved helpers.
 func Close(a, b float64) bool {
 	return floats.EqualWithin(a, b, 1e-9)
+}
+
+// Ordered acquires the //mc:lockrank hierarchy in rank order and
+// releases on every path.
+type cleanServer struct {
+	mu sync.Mutex //mc:lockrank 1
+}
+
+type cleanSession struct {
+	mu sync.Mutex //mc:lockrank 2
+}
+
+func Ordered(srv *cleanServer, sess *cleanSession) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+}
+
+// Lifecycle state advances only through the transition function, and
+// switches over it are exhaustive.
+//
+//mc:statemachine
+type mode int
+
+const (
+	modeIdle mode = iota
+	modeRun
+)
+
+type task struct{ st mode }
+
+//mc:statetransition
+func (t *task) Advance(to mode) { t.st = to }
+
+// Describe covers every mode constant.
+func Describe(m mode) string {
+	switch m {
+	case modeIdle:
+		return "idle"
+	case modeRun:
+		return "run"
+	}
+	return ""
+}
+
+// Tally keeps every access to its counter atomic.
+type tally struct{ n int64 }
+
+func (t *tally) Bump() { atomic.AddInt64(&t.n, 1) }
+
+func (t *tally) Read() int64 { return atomic.LoadInt64(&t.n) }
+
+// SumSlice is the allocation-free hot-path shape: slice iteration, no
+// closures, no boxing.
+//
+//mc:hotpath
+func SumSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// WithCtx threads the incoming context into the Options literal.
+type runOptions struct {
+	Ctx  context.Context
+	Name string
+}
+
+func start(o runOptions) {}
+
+func WithCtx(ctx context.Context) {
+	start(runOptions{Ctx: ctx, Name: "clean"})
 }

@@ -7,6 +7,8 @@ package dirty
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"matchcatcher/internal/telemetry"
 )
@@ -43,4 +45,69 @@ func tie(a, b float64) bool {
 // end to end as well.
 func allowedTie(a, b float64) bool {
 	return a == b //lint:allow floatcmp fixture exercises end-to-end suppression accounting
+}
+
+// lockorder: rank 2 acquired first, then rank 1 — inverted.
+type gadgetServer struct {
+	mu sync.Mutex //mc:lockrank 1
+}
+
+type gadgetSession struct {
+	mu sync.Mutex //mc:lockrank 2
+}
+
+func invert(srv *gadgetServer, sess *gadgetSession) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+}
+
+// statemachine: the lifecycle field is poked outside the transition
+// function.
+//
+//mc:statemachine
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseRun
+)
+
+type job struct{ st phase }
+
+//mc:statetransition
+func (j *job) advance(to phase) { j.st = to }
+
+func poke(j *job) {
+	j.st = phaseRun
+}
+
+// atomicmix: hits is bumped atomically and peeked plainly.
+type counters struct{ hits int64 }
+
+func (c *counters) bump() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counters) peek() int64 { return c.hits }
+
+// hotalloc: map iteration on an annotated hot path (the syntactic
+// check; the escape layer is exercised with -escapes).
+//
+//mc:hotpath
+func sumHot(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// hotalloc (escape layer): returning the address moves x to the heap.
+// The syntactic checks cannot see this; it surfaces only when mclint
+// runs with -escapes and feeds compiler diagnostics to hotalloc.
+//
+//mc:hotpath
+func escapes() *int {
+	x := 42
+	return &x
 }

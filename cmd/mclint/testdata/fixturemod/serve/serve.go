@@ -1,0 +1,10 @@
+// Package serve seeds the ctxflow analyzer's serve-layer violation: the
+// import path ends in /serve, where fresh root contexts are banned.
+package serve
+
+import "context"
+
+// Detach manufactures a root context instead of threading one.
+func Detach() context.Context {
+	return context.Background()
+}

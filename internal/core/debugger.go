@@ -85,7 +85,7 @@ type Debugger struct {
 	log    *slog.Logger
 	prov   *telemetry.Provenance
 
-	mu        sync.Mutex           // the session's lock domain
+	mu        sync.Mutex           //mc:lockrank 3 — the session's lock domain
 	session   *telemetry.TraceSpan // root span of the whole session
 	iterSpan  *telemetry.TraceSpan // current debug.iteration span
 	iterStart time.Time            // set by Next, consumed by Feedback
@@ -155,10 +155,12 @@ func New(a, b *table.Table, c *blocker.PairSet, opt Options) (*Debugger, error) 
 		session.End()
 		return nil, fmt.Errorf("core: join cancelled: %w", err)
 	}
+	//lint:allow atomicmix JoinAll's worker pool is joined before it returns; the counters are quiescent here
+	scratch, reused := join.Stats.ScratchScores, join.Stats.ReusedScores
 	logg.InfoContext(ctx, "joins complete",
 		"configs", len(join.Lists),
-		"scratch_scores", join.Stats.ScratchScores,
-		"reused_scores", join.Stats.ReusedScores)
+		"scratch_scores", scratch,
+		"reused_scores", reused)
 
 	vsp := session.Child("verifier.prepare")
 	ext := feature.NewExtractor(cor)
@@ -245,33 +247,42 @@ func (d *Debugger) Next() []blocker.Pair {
 // up into mc_core_iteration_seconds.
 func (d *Debugger) Feedback(labels []bool) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.finished {
+		d.mu.Unlock()
 		return fmt.Errorf("core: Feedback after Finish")
 	}
 	before := len(d.verif.Matches())
-	err := d.verif.Feedback(labels)
-	if err == nil {
-		if !d.iterStart.IsZero() {
-			d.reg.Histogram("mc_core_iteration_seconds").Observe(time.Since(d.iterStart).Seconds())
-			d.iterStart = time.Time{}
-		}
-		d.reg.Gauge("mc_core_iterations").Set(float64(d.verif.Iterations()))
-		d.reg.Gauge("mc_core_matches_found").Set(float64(len(d.verif.Matches())))
-		found := len(d.verif.Matches()) - before
-		d.iterSpan.SetAttrInt("labels", int64(len(labels)))
-		d.iterSpan.SetAttrInt("new_matches", int64(found))
-		d.iterSpan.End()
-		d.iterSpan = nil
-		d.verif.SetTraceParent(d.session)
-		ctx := telemetry.ContextWithSpan(context.Background(), d.session)
-		d.log.InfoContext(ctx, "iteration complete",
-			"iteration", d.verif.Iterations(),
-			"labels", len(labels),
-			"new_matches", found,
-			"total_matches", len(d.verif.Matches()))
+	if err := d.verif.Feedback(labels); err != nil {
+		d.mu.Unlock()
+		return err
 	}
-	return err
+	if !d.iterStart.IsZero() {
+		d.reg.Histogram("mc_core_iteration_seconds").Observe(time.Since(d.iterStart).Seconds())
+		d.iterStart = time.Time{}
+	}
+	iterations := d.verif.Iterations()
+	total := len(d.verif.Matches())
+	found := total - before
+	d.reg.Gauge("mc_core_iterations").Set(float64(iterations))
+	d.reg.Gauge("mc_core_matches_found").Set(float64(total))
+	d.iterSpan.SetAttrInt("labels", int64(len(labels)))
+	d.iterSpan.SetAttrInt("new_matches", int64(found))
+	d.iterSpan.End()
+	d.iterSpan = nil
+	d.verif.SetTraceParent(d.session)
+	session := d.session
+	d.mu.Unlock()
+
+	// Emit the log line after releasing d.mu: slog emission can block on
+	// the sink, and nothing below reads guarded state (the session span
+	// is immutable after New).
+	ctx := telemetry.ContextWithSpan(context.Background(), session)
+	d.log.InfoContext(ctx, "iteration complete",
+		"iteration", iterations,
+		"labels", len(labels),
+		"new_matches", found,
+		"total_matches", total)
+	return nil
 }
 
 // Finish ends the session's root trace span. Call it when the

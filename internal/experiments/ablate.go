@@ -156,8 +156,10 @@ func (e *Env) RunJointAblation(specs []Spec, opt DebugOptions) ([]JointRow, erro
 		if joint > 0 {
 			row.SpeedupX = indiv / joint
 		}
-		if total := jr.Stats.ReusedScores + jr.Stats.ScratchScores; total > 0 {
-			row.ReusedPct = 100 * float64(jr.Stats.ReusedScores) / float64(total)
+		//lint:allow atomicmix JoinAll's worker pool is joined before it returns; the counters are quiescent here
+		reused, scratch := jr.Stats.ReusedScores, jr.Stats.ScratchScores
+		if total := reused + scratch; total > 0 {
+			row.ReusedPct = 100 * float64(reused) / float64(total)
 		}
 		rows = append(rows, row)
 	}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMixAnalyzer forbids mixing atomic and plain access to the same
+// struct field. Once any code reaches a field through sync/atomic, a
+// plain read elsewhere is a data race the race detector only catches if
+// the schedule cooperates — and on weakly-ordered hardware a torn or
+// stale read even when it looks benign. The analyzer records every
+// field passed by address into a sync/atomic function (publishing it as
+// a cross-package fact, so `ssjoin.Stats` counters written atomically in
+// the join protect their readers in experiments and core too) and
+// reports every plain selector read or write of such a field.
+//
+// Typed atomics (atomic.Int64 and friends) make this unrepresentable by
+// construction and are the preferred fix; `//lint:allow atomicmix` with
+// a happens-before argument is the escape hatch for provably quiescent
+// reads (e.g. counters read after the worker pool has been joined).
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed via sync/atomic anywhere must never be read or written plainly elsewhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Phase A: find `atomic.Op(&x.f, ...)` calls; the selector nodes
+	// used there are the legal atomic accesses, and their fields become
+	// facts for this and every later package.
+	atomicNodes := make(map[*ast.SelectorExpr]bool)
+	localKeys := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(info, call)
+			if callee == nil || pkgPathOf(callee) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				key, ok := fieldKey(info, sel)
+				if !ok {
+					continue
+				}
+				atomicNodes[sel] = true
+				localKeys[key] = true
+				pass.Facts.addAtomicField(key, pass.Fset.Position(call.Pos()))
+			}
+			return true
+		})
+	}
+
+	// Phase B: every other selector touching an atomic field — locally
+	// discovered or imported as a fact — is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicNodes[sel] {
+				return true
+			}
+			key, ok := fieldKey(info, sel)
+			if !ok {
+				return true
+			}
+			site, known := pass.Facts.atomicFieldSite(key)
+			if !known && !localKeys[key] {
+				return true
+			}
+			if known {
+				pass.Reportf(sel.Pos(),
+					"plain access to %s, which is accessed atomically at %s; use sync/atomic (or a typed atomic) here too",
+					key, site)
+			} else {
+				pass.Reportf(sel.Pos(),
+					"plain access to %s, which is accessed atomically elsewhere in this package; use sync/atomic here too",
+					key)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldKey resolves a selector to its struct-field identity
+// "pkgpath.Type.Field", the key shape shared by source-checked packages
+// and export-data importers (whose *types.Object identities differ).
+func fieldKey(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	field := s.Obj()
+	if field.Pkg() == nil {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return field.Pkg().Path() + "." + named.Obj().Name() + "." + field.Name(), true
+}

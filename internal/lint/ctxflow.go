@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces request-context plumbing. Cancellation is
+// how the serving layer sheds abandoned work: a joined session whose
+// client hung up must stop probing, and every log line must carry the
+// request's trace attributes. Both break silently when code
+// manufactures a fresh root context instead of threading the incoming
+// one, so the analyzer reports
+//
+//  1. any context.Background() / context.TODO() call inside the serve
+//     package — request-scoped code there always has r.Context() or the
+//     session context in reach, and
+//  2. in any package, a composite literal of an Options-style struct
+//     (one with a `Ctx context.Context` field) built inside a function
+//     that receives a context (directly or via *http.Request) but does
+//     not set Ctx — the literal silently defaults the pipeline to
+//     context.Background() while a live request context was available.
+//
+// A later `v.Ctx = ...` assignment on the same variable counts as
+// setting it, so the two-step construction idiom stays legal.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-scoped code must thread the incoming context: no fresh root contexts in serve, no Options literals that drop a live request context",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	inServe := isServePkg(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := funcHasContext(pass.TypesInfo, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if inServe {
+						checkRootContext(pass, n)
+					}
+				case *ast.CompositeLit:
+					if hasCtx {
+						checkDroppedCtx(pass, fd, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkRootContext reports context.Background() / context.TODO() calls.
+func checkRootContext(pass *Pass, call *ast.CallExpr) {
+	callee := calleeOf(pass.TypesInfo, call)
+	if callee == nil || pkgPathOf(callee) != "context" {
+		return
+	}
+	switch callee.Name() {
+	case "Background", "TODO":
+		pass.Reportf(call.Pos(),
+			"context.%s() in the serve layer severs request cancellation; thread the incoming request or session context instead",
+			callee.Name())
+	}
+}
+
+// funcHasContext reports whether fd receives a context.Context (or a
+// *http.Request, whose Context() is one hop away) as a parameter.
+func funcHasContext(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContextType(tv.Type) || isHTTPRequestPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// checkDroppedCtx reports a struct literal with a context.Context field
+// named Ctx that the literal leaves unset while the enclosing function
+// has a live context to thread.
+func checkDroppedCtx(pass *Pass, fd *ast.FuncDecl, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	named, _ := tv.Type.(*types.Named)
+	ctxField := -1
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Ctx" && isContextType(f.Type()) {
+			ctxField = i
+			break
+		}
+	}
+	if ctxField < 0 {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional literal: assume all fields set.
+			return
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Ctx" {
+			return
+		}
+	}
+	if ctxAssignedLater(pass.TypesInfo, fd, lit) {
+		return
+	}
+	typeName := "struct"
+	if named != nil {
+		typeName = named.Obj().Name()
+	}
+	pass.Reportf(lit.Pos(),
+		"%s literal omits Ctx while %s has a request context in scope; the pipeline silently falls back to context.Background()",
+		typeName, fd.Name.Name)
+}
+
+// ctxAssignedLater reports whether the literal is assigned to a variable
+// whose Ctx field is later set (`opts := Options{...}; opts.Ctx = ctx`).
+func ctxAssignedLater(info *types.Info, fd *ast.FuncDecl, lit *ast.CompositeLit) bool {
+	// Find the variable the literal initializes, if any.
+	var target types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || target != nil {
+			return target == nil
+		}
+		for i, rhs := range as.Rhs {
+			inner := ast.Unparen(rhs)
+			if ue, ok := inner.(*ast.UnaryExpr); ok {
+				inner = ast.Unparen(ue.X)
+			}
+			if inner == lit && i < len(as.Lhs) {
+				target = identObj(info, as.Lhs[i])
+			}
+		}
+		return target == nil
+	})
+	if target == nil {
+		return false
+	}
+	set := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || set {
+			return !set
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Ctx" {
+				continue
+			}
+			if identObj(info, sel.X) == target {
+				set = true
+			}
+		}
+		return !set
+	})
+	return set
+}

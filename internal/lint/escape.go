@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The hotalloc analyzer's escape-analysis feed. The compiler already
+// knows exactly which expressions allocate — `go build -gcflags=-m`
+// prints one diagnostic per escaping value — so instead of re-deriving
+// escape analysis from the AST we parse the compiler's own verdicts and
+// anchor them to source positions, the same spirit as the loader's use
+// of `go list -export` compiler metadata. Go caches and replays compiler
+// diagnostics with the build artifacts, so repeated runs are warm-cache
+// fast and fully offline.
+
+// An EscapeDiag is one compiler escape diagnostic ("escapes to heap" /
+// "moved to heap") at a source position.
+type EscapeDiag struct {
+	File    string // absolute path
+	Line    int
+	Col     int
+	Message string
+}
+
+// LoadEscapes compiles the given package patterns with -gcflags=-m (run
+// in dir) and returns the heap-allocation diagnostics. Inlining chatter
+// and leaking-param notes are dropped: only diagnostics that name an
+// actual heap allocation ("escapes to heap", "moved to heap") survive,
+// which is precisely the set hotalloc's zero-alloc contract forbids.
+func LoadEscapes(dir string, patterns ...string) ([]EscapeDiag, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving %s: %v", dir, err)
+	}
+	args := append([]string{"build", "-gcflags=-m", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	// The diagnostics arrive on stderr, mixed with "# pkg" headers.
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return parseEscapes(stderr.String(), absDir), nil
+}
+
+// parseEscapes extracts heap-allocation diagnostics from -gcflags=-m
+// output. Lines look like
+//
+//	# matchcatcher/internal/ssjoin
+//	internal/ssjoin/topk.go:97:13: make([]ScoredPair, len(h.items)) escapes to heap
+//
+// with file paths relative to the directory the build ran in (absolute
+// for packages outside it, e.g. GOROOT generics instantiations).
+func parseEscapes(out, dir string) []EscapeDiag {
+	var diags []EscapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		rest := line
+		var parts [3]string
+		ok := true
+		for i := 0; i < 3; i++ {
+			idx := strings.Index(rest, ":")
+			if idx < 0 {
+				ok = false
+				break
+			}
+			parts[i] = rest[:idx]
+			rest = rest[idx+1:]
+		}
+		if !ok || !strings.HasSuffix(parts[0], ".go") {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		diags = append(diags, EscapeDiag{
+			File: file, Line: ln, Col: col,
+			Message: strings.TrimSpace(rest),
+		})
+	}
+	return diags
+}
+
+// AttachEscapes distributes escape diagnostics onto the packages whose
+// files they belong to. Diagnostics for files outside the package set
+// (dependencies, GOROOT) are dropped.
+func AttachEscapes(pkgs []*Package, diags []EscapeDiag) {
+	byFile := make(map[string]*Package)
+	for _, pkg := range pkgs {
+		for _, name := range pkg.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(pkg.Dir, name)
+			}
+			byFile[path] = pkg
+		}
+	}
+	for _, d := range diags {
+		if pkg := byFile[d.File]; pkg != nil {
+			pkg.Escapes = append(pkg.Escapes, d)
+		}
+	}
+}

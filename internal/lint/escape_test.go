@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseEscapes(t *testing.T) {
+	out := `# matchcatcher/internal/ssjoin
+internal/ssjoin/topk.go:97:13: make([]ScoredPair, len(h.items)) escapes to heap
+internal/ssjoin/topk.go:42:6: can inline (*topkHeap).Len
+internal/ssjoin/join.go:390:28: &postings{} escapes to heap
+internal/serve/session.go:12:9: moved to heap: rec
+internal/serve/session.go:14:2: leaking param: sess
+garbage line without colons escapes to heap
+/abs/gen.go:3:4: x escapes to heap
+notgo.txt:1:2: escapes to heap
+internal/bad.go:x:2: escapes to heap
+`
+	diags := parseEscapes(out, "/root/mod")
+	want := []EscapeDiag{
+		{File: filepath.FromSlash("/root/mod/internal/ssjoin/topk.go"), Line: 97, Col: 13, Message: "make([]ScoredPair, len(h.items)) escapes to heap"},
+		{File: filepath.FromSlash("/root/mod/internal/ssjoin/join.go"), Line: 390, Col: 28, Message: "&postings{} escapes to heap"},
+		{File: filepath.FromSlash("/root/mod/internal/serve/session.go"), Line: 12, Col: 9, Message: "moved to heap: rec"},
+		{File: filepath.FromSlash("/abs/gen.go"), Line: 3, Col: 4, Message: "x escapes to heap"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("parseEscapes returned %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, d := range diags {
+		if d != want[i] {
+			t.Errorf("diag[%d] = %+v, want %+v", i, d, want[i])
+		}
+	}
+}
+
+func TestAttachEscapes(t *testing.T) {
+	pkgA := &Package{Dir: "/m/a", GoFiles: []string{"a.go"}}
+	pkgB := &Package{Dir: "/m/b", GoFiles: []string{"b.go"}}
+	diags := []EscapeDiag{
+		{File: filepath.FromSlash("/m/a/a.go"), Line: 1, Col: 1, Message: "x escapes to heap"},
+		{File: filepath.FromSlash("/m/b/b.go"), Line: 2, Col: 2, Message: "y escapes to heap"},
+		{File: filepath.FromSlash("/m/c/c.go"), Line: 3, Col: 3, Message: "z escapes to heap"},
+	}
+	AttachEscapes([]*Package{pkgA, pkgB}, diags)
+	if len(pkgA.Escapes) != 1 || pkgA.Escapes[0].Message != "x escapes to heap" {
+		t.Errorf("pkgA.Escapes = %v, want the a.go diagnostic", pkgA.Escapes)
+	}
+	if len(pkgB.Escapes) != 1 || pkgB.Escapes[0].Line != 2 {
+		t.Errorf("pkgB.Escapes = %v, want the b.go diagnostic", pkgB.Escapes)
+	}
+}
+
+// TestLoadEscapesRepo compiles the real module with -gcflags=-m and
+// checks the loader produces plausible, file-anchored diagnostics. The
+// compiler replays cached diagnostics, so this is warm-cache fast.
+func TestLoadEscapesRepo(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := LoadEscapes(root, "./...")
+	if err != nil {
+		t.Fatalf("LoadEscapes: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("LoadEscapes returned no diagnostics; a real module always has some heap allocations")
+	}
+	for _, d := range diags {
+		if !filepath.IsAbs(d.File) {
+			t.Errorf("diagnostic file %q is not absolute", d.File)
+		}
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("diagnostic %+v has a non-positive position", d)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package lint
+
+import "go/token"
+
+// Facts carries cross-package analysis facts through one Run. A fact is
+// published by the pass that discovers it and consumed by the passes of
+// every package analyzed later; Run analyzes packages in dependency
+// order (go list -deps lists dependencies before dependents), so the
+// only requirement for a fact to travel is that producer and consumer
+// are both in the run's target set. A single-package run (or a fixture
+// run under linttest) simply sees an empty store, which degrades every
+// fact-driven check to package-local scope rather than misfiring.
+//
+// Fact keys are strings, not *types.Object: targets are type-checked
+// from source while their importers see them through compiler export
+// data, so the same field has two distinct object identities across
+// packages. "pkgpath.Type.Field" is stable across both views.
+type Facts struct {
+	// AtomicFields records struct fields accessed through sync/atomic
+	// functions, keyed "pkgpath.Type.Field", with one representative
+	// atomic call site per field (used in diagnostics).
+	AtomicFields map[string]token.Position
+}
+
+// NewFacts allocates an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{AtomicFields: make(map[string]token.Position)}
+}
+
+// atomicFieldSite returns the recorded atomic call site for key, if any.
+func (f *Facts) atomicFieldSite(key string) (token.Position, bool) {
+	if f == nil {
+		return token.Position{}, false
+	}
+	pos, ok := f.AtomicFields[key]
+	return pos, ok
+}
+
+// addAtomicField records that key is accessed through sync/atomic at
+// pos (first writer wins, keeping the representative site stable).
+func (f *Facts) addAtomicField(key string, pos token.Position) {
+	if f == nil {
+		return
+	}
+	if _, ok := f.AtomicFields[key]; !ok {
+		f.AtomicFields[key] = pos
+	}
+}

@@ -51,6 +51,57 @@ func TestFloatCmpGolden(t *testing.T) {
 	linttest.Run(t, lint.FloatCmpAnalyzer, "testdata/src/floatcmp")
 }
 
+// TestLockOrderGolden also asserts the fixture's //lint:allow directive
+// suppresses (not deletes) its inversion finding.
+func TestLockOrderGolden(t *testing.T) {
+	res := linttest.Run(t, lint.LockOrderAnalyzer, "testdata/src/lockorder")
+	assertOneSuppressed(t, res, "lockorder")
+}
+
+func TestStateMachineGolden(t *testing.T) {
+	res := linttest.Run(t, lint.StateMachineAnalyzer, "testdata/src/statemachine")
+	assertOneSuppressed(t, res, "statemachine")
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	res := linttest.Run(t, lint.AtomicMixAnalyzer, "testdata/src/atomicmix")
+	assertOneSuppressed(t, res, "atomicmix")
+}
+
+// TestHotAllocGolden exercises the syntactic layer only: fixture runs
+// carry no compiler escape data (Pass.Escapes == nil), mirroring plain
+// `mclint` without -escapes. The escape layer is covered by the parser
+// unit tests and the cmd/mclint e2e run.
+func TestHotAllocGolden(t *testing.T) {
+	res := linttest.Run(t, lint.HotAllocAnalyzer, "testdata/src/hotalloc")
+	assertOneSuppressed(t, res, "hotalloc")
+}
+
+// TestCtxFlowGolden covers the Options rule in a neutral package; the
+// serve-suffixed subfixture below covers the root-context ban.
+func TestCtxFlowGolden(t *testing.T) {
+	res := linttest.Run(t, lint.CtxFlowAnalyzer, "testdata/src/ctxflow")
+	assertOneSuppressed(t, res, "ctxflow")
+}
+
+func TestCtxFlowServeGolden(t *testing.T) {
+	res := linttest.Run(t, lint.CtxFlowAnalyzer, "testdata/src/ctxflow/serve")
+	assertOneSuppressed(t, res, "ctxflow")
+}
+
+// assertOneSuppressed checks the fixture's negative allow-directive
+// case: exactly one suppressed finding for the analyzer, with a reason.
+func assertOneSuppressed(t *testing.T, res *lint.Result, analyzer string) {
+	t.Helper()
+	sup := res.Suppressed()
+	if len(sup) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1:\n%v", len(sup), sup)
+	}
+	if sup[0].Analyzer != analyzer || sup[0].Reason == "" {
+		t.Errorf("suppressed finding = %v, want one %s finding with a reason", sup[0], analyzer)
+	}
+}
+
 // TestSuppressionAccounting proves //lint:allow directives silence
 // findings without deleting them: the two suppressed findings stay
 // countable (with their reasons), and the stale directive surfaces as

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocAnalyzer keeps `//mc:hotpath` functions allocation-free. The
+// probe/offer inner loops and the flight recorder run millions of times
+// per join; a single heap allocation there turns into GC pressure that
+// dwarfs the actual work. Two layers of evidence feed the check:
+//
+//   - Syntactic: map iteration (runtime map-iterator allocation and
+//     nondeterministic order), function literals that capture enclosing
+//     variables (the closure header allocates), and interface boxing at
+//     call sites and conversions (a non-interface value passed where an
+//     interface is expected allocates unless the compiler can prove
+//     otherwise).
+//   - Compiler escape analysis: when the run was given `-gcflags=-m`
+//     output (see LoadEscapes, `mclint -escapes`), every "escapes to
+//     heap" / "moved to heap" diagnostic inside an annotated function
+//     body is reported verbatim. This is the ground truth the syntactic
+//     layer approximates; the paired testing.AllocsPerRun regression
+//     tests cross-check both.
+//
+// Without escape data the analyzer still runs its syntactic checks, so
+// fixture tests and plain `mclint` stay meaningful offline.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//mc:hotpath functions must not allocate: no map iteration, capturing closures, interface boxing, or compiler-reported heap escapes",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := mcDirective(fd.Doc, "hotpath"); !ok {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isMap(tv.Type) {
+				pass.Reportf(n.Pos(),
+					"map iteration in hot path %s allocates a runtime iterator (and is order-nondeterministic)",
+					fd.Name.Name)
+			}
+		case *ast.FuncLit:
+			if capturesEnclosing(info, fd, n) {
+				pass.Reportf(n.Pos(),
+					"capturing closure in hot path %s allocates its environment on the heap",
+					fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkBoxing(pass, fd, n)
+		}
+		return true
+	})
+	checkEscapes(pass, fd)
+}
+
+// capturesEnclosing reports whether the literal references a variable
+// declared in the enclosing function before the literal itself — the
+// capture that forces a heap-allocated closure. Non-capturing literals
+// compile to static functions and cost nothing.
+func capturesEnclosing(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < lit.Pos() {
+			captured = true
+		}
+		return !captured
+	})
+	return captured
+}
+
+// checkBoxing reports non-interface values passed to interface
+// parameters (calls) or converted to interface types — each boxes the
+// value onto the heap unless escape analysis happens to save it, which
+// a hot path must not gamble on.
+func checkBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x).
+		if isBoxing(tv.Type, argType(info, call.Args)) {
+			pass.Reportf(call.Pos(),
+				"conversion to interface type in hot path %s boxes the value", fd.Name.Name)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin or untypable
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok {
+			continue
+		}
+		if isBoxing(pt, at.Type) {
+			pass.Reportf(arg.Pos(),
+				"argument boxes a concrete value into an interface in hot path %s", fd.Name.Name)
+		}
+	}
+}
+
+// argType returns the type of a single-argument expression list, or nil.
+func argType(info *types.Info, args []ast.Expr) types.Type {
+	if len(args) != 1 {
+		return nil
+	}
+	tv, ok := info.Types[args[0]]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isBoxing reports whether assigning a value of type from to a location
+// of type to allocates an interface box: to is an interface, from is a
+// concrete type (not nil, not an interface, not a type parameter —
+// generic instantiation decides those).
+func isBoxing(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if _, ok := from.Underlying().(*types.Interface); ok {
+		return false
+	}
+	if _, ok := from.(*types.TypeParam); ok {
+		return false
+	}
+	return true
+}
+
+// checkEscapes reports compiler escape diagnostics that land inside the
+// annotated function's body. pass.Escapes is nil when the run has no
+// escape data (plain mclint, fixture tests); then this layer is off.
+func checkEscapes(pass *Pass, fd *ast.FuncDecl) {
+	if pass.Escapes == nil {
+		return
+	}
+	tf := pass.Fset.File(fd.Pos())
+	if tf == nil {
+		return
+	}
+	start := pass.Fset.Position(fd.Pos())
+	end := pass.Fset.Position(fd.End())
+	for _, d := range pass.Escapes {
+		if d.File != start.Filename || d.Line < start.Line || d.Line > end.Line {
+			continue
+		}
+		pos := fd.Pos()
+		if d.Line <= tf.LineCount() {
+			p := tf.LineStart(d.Line) + token.Pos(d.Col-1)
+			if p >= tf.Pos(0) && p < tf.Pos(tf.Size()) {
+				pos = p
+			}
+		}
+		pass.Reportf(pos,
+			"hot path %s allocates: %s (compiler escape analysis)", fd.Name.Name, d.Message)
+	}
+}

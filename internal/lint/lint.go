@@ -20,6 +20,22 @@
 //     nil-guards around nil-safe span methods
 //   - floatcmp:   exact ==/!= on computed floats outside the approved
 //     helpers in internal/floats
+//   - lockorder:  the documented mutex hierarchy (`//mc:lockrank`):
+//     inverted acquisition, ranked locks held across blocking calls,
+//     and Lock() without a reachable Unlock on every path
+//   - ctxflow:    request-scoped code must thread the incoming context
+//     (no context.Background()/TODO() in the serve layer, no Options
+//     literal that drops a live request context)
+//   - statemachine: types marked `//mc:statemachine` change only inside
+//     `//mc:statetransition` functions, and switches over them are
+//     exhaustive
+//   - atomicmix:  a struct field accessed via sync/atomic anywhere is
+//     never read or written plainly elsewhere (cross-package, via
+//     analysis facts)
+//   - hotalloc:   functions marked `//mc:hotpath` stay allocation-free:
+//     no map iteration, capturing closures, or interface boxing, and no
+//     compiler escape diagnostics (`go build -gcflags=-m`, see
+//     LoadEscapes)
 //
 // Findings can be suppressed at a call site with a
 // `//lint:allow <analyzer> <reason>` comment on the same line or the
@@ -60,6 +76,17 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Escapes holds the compiler escape diagnostics attached to this
+	// package (see LoadEscapes/AttachEscapes), or nil when the run was
+	// not given escape data. Only hotalloc consumes it.
+	Escapes []EscapeDiag
+
+	// Facts is the run-wide cross-package fact store. Packages are
+	// analyzed in dependency order (go list -deps emits dependencies
+	// before dependents), so facts a dependency publishes are visible
+	// when its importers are analyzed.
+	Facts *Facts
+
 	// Report delivers one diagnostic. The runner attaches the
 	// analyzer name and resolves suppression comments.
 	Report func(Diagnostic)
@@ -80,11 +107,16 @@ type Diagnostic struct {
 // order. The multichecker, tests, and CI all run exactly this set.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicMixAnalyzer,
+		CtxFlowAnalyzer,
 		FloatCmpAnalyzer,
+		HotAllocAnalyzer,
+		LockOrderAnalyzer,
 		MapIterAnalyzer,
 		MetricNameAnalyzer,
 		SeededRandAnalyzer,
 		SpanEndAnalyzer,
+		StateMachineAnalyzer,
 	}
 }
 
@@ -138,6 +170,70 @@ func isFloatsPkg(path string) bool {
 		return true
 	}
 	return path == "floats" || strings.HasSuffix(path, "/floats")
+}
+
+// corePath is the canonical import path of the pipeline package.
+const corePath = "matchcatcher/internal/core"
+
+// isCorePkg reports whether path names the core pipeline package (same
+// suffix rule as isTelemetryPkg, for fixtures).
+func isCorePkg(path string) bool {
+	if path == corePath {
+		return true
+	}
+	return path == "core" || strings.HasSuffix(path, "/core")
+}
+
+// ssjoinPath is the canonical import path of the joint top-k executor.
+const ssjoinPath = "matchcatcher/internal/ssjoin"
+
+// isSSJoinPkg reports whether path names the joint executor package
+// (same suffix rule as isTelemetryPkg, for fixtures).
+func isSSJoinPkg(path string) bool {
+	if path == ssjoinPath {
+		return true
+	}
+	return path == "ssjoin" || strings.HasSuffix(path, "/ssjoin")
+}
+
+// isRunlogPkg reports whether path names the run-ledger package (same
+// suffix rule as isTelemetryPkg, for fixtures).
+func isRunlogPkg(path string) bool {
+	if path == "matchcatcher/internal/runlog" {
+		return true
+	}
+	return path == "runlog" || strings.HasSuffix(path, "/runlog")
+}
+
+// mcPrefix introduces the annotation directives the suite understands:
+//
+//	//mc:lockrank <n>     on a sync.Mutex/RWMutex struct field (lockorder)
+//	//mc:blocking         on a function that blocks its caller (lockorder)
+//	//mc:statemachine     on a state type declaration (statemachine)
+//	//mc:statetransition  on the state type's transition function(s)
+//	//mc:hotpath          on an allocation-free hot-path function (hotalloc)
+const mcPrefix = "//mc:"
+
+// mcDirective scans a comment group for a `//mc:<name>` directive and
+// returns the directive's argument text (the rest of the line).
+func mcDirective(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	want := mcPrefix + name
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, want) {
+			continue
+		}
+		rest := strings.TrimPrefix(c.Text, want)
+		if rest == "" {
+			return "", true
+		}
+		if rest[0] == ' ' || rest[0] == '\t' {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
 }
 
 // pkgPathOf returns the import path of the package an object belongs

@@ -27,6 +27,12 @@ type Package struct {
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// Escapes holds the compiler escape diagnostics for this package's
+	// files, when the caller attached them (see AttachEscapes). Nil
+	// means the run has no escape data; hotalloc then performs only its
+	// syntactic checks.
+	Escapes []EscapeDiag
 }
 
 // listPackage is the subset of `go list -json` output the loader needs.

@@ -76,9 +76,17 @@ func (r *Result) CountByAnalyzer(analyzers []*Analyzer) (active, suppressed map[
 // run.
 //
 // Unused //lint:allow directives are reported as diagnostics of the
-// pseudo-analyzer "lint" so stale suppressions cannot accumulate.
+// pseudo-analyzer "lint" so stale suppressions cannot accumulate. A
+// directive is only judged stale when its analyzer actually ran: under
+// -only filtering the other analyzers' directives are unverifiable,
+// not stale, and flagging them would make every restricted run fail.
 func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 	res := &Result{}
+	facts := NewFacts()
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		var raw []struct {
 			analyzer string
@@ -102,6 +110,8 @@ func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Escapes:   pkg.Escapes,
+				Facts:     facts,
 				Report:    report(a.Name),
 			}
 			if err := a.Run(pass); err != nil {
@@ -124,7 +134,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 		}
 
 		for _, d := range allows {
-			if !d.used {
+			if !d.used && ran[d.Analyzer] {
 				pos := pkg.Fset.Position(d.Pos)
 				res.Findings = append(res.Findings, Finding{
 					Analyzer: "lint",

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StateMachineAnalyzer keeps annotated state types honest. A type
+// declared with `//mc:statemachine` models a lifecycle whose legal
+// transitions live in one place — functions annotated
+// `//mc:statetransition`. The analyzer reports
+//
+//   - any assignment to a struct field of the state type outside a
+//     transition function (scattered `sess.st = X` writes are how
+//     lifecycle invariants rot), and
+//   - any switch over a value of the state type that lacks a default
+//     clause and does not cover every declared constant of the type —
+//     adding a new state must fail the build-adjacent lint, not fall
+//     through silently.
+//
+// Local variables of the type are not restricted: only the durable
+// field writes define the machine's actual state.
+var StateMachineAnalyzer = &Analyzer{
+	Name: "statemachine",
+	Doc:  "//mc:statemachine types advance only inside //mc:statetransition functions, and switches over them are exhaustive",
+	Run:  runStateMachine,
+}
+
+func runStateMachine(pass *Pass) error {
+	tracked := collectStateTypes(pass)
+	if len(tracked) == 0 {
+		return nil
+	}
+	constants := collectStateConsts(pass, tracked)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			_, isTransition := mcDirective(fd.Doc, "statetransition")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if !isTransition {
+						checkStateWrite(pass, tracked, n)
+					}
+				case *ast.CompositeLit:
+					if !isTransition {
+						checkStateLit(pass, tracked, n)
+					}
+				case *ast.SwitchStmt:
+					checkExhaustive(pass, tracked, constants, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectStateTypes maps //mc:statemachine-annotated named types to
+// their names.
+func collectStateTypes(pass *Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			_, onDecl := mcDirective(gd.Doc, "statemachine")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, onSpec := mcDirective(ts.Doc, "statemachine")
+				if !onDecl && !onSpec {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectStateConsts gathers the package-scope constants of each tracked
+// type, in source order, keyed by the type object.
+func collectStateConsts(pass *Pass, tracked map[types.Object]bool) map[types.Object][]*types.Const {
+	out := make(map[types.Object][]*types.Const)
+	scope := pass.Pkg.Scope()
+	var names []string
+	for _, name := range scope.Names() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var consts []*types.Const
+	for _, name := range names {
+		if c, ok := scope.Lookup(name).(*types.Const); ok {
+			consts = append(consts, c)
+		}
+	}
+	// Re-sort by declaration position so diagnostics list missing
+	// states in lifecycle order, not alphabetical order.
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+	for _, c := range consts {
+		n, ok := c.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if tracked[n.Obj()] {
+			out[n.Obj()] = append(out[n.Obj()], c)
+		}
+	}
+	return out
+}
+
+// stateTypeOf returns the tracked type object of t, or nil.
+func stateTypeOf(tracked map[types.Object]bool, t types.Type) types.Object {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if tracked[n.Obj()] {
+		return n.Obj()
+	}
+	return nil
+}
+
+// checkStateWrite reports assignments to struct fields of a tracked
+// state type outside transition functions.
+func checkStateWrite(pass *Pass, tracked map[types.Object]bool, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			continue
+		}
+		if obj := stateTypeOf(tracked, s.Obj().Type()); obj != nil {
+			pass.Reportf(lhs.Pos(),
+				"%s field written outside a //mc:statetransition function; route lifecycle changes through the transition function",
+				obj.Name())
+		}
+	}
+}
+
+// checkStateLit reports composite-literal initialization of a tracked
+// state field to a non-zero state (building a struct mid-lifecycle
+// bypasses the transition function just like a field write).
+func checkStateLit(pass *Pass, tracked map[types.Object]bool, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[kv.Value]
+		if !ok {
+			continue
+		}
+		obj := stateTypeOf(tracked, tv.Type)
+		if obj == nil {
+			continue
+		}
+		// The zero state in a literal is indistinguishable from the
+		// implicit zero value; only flag explicit non-zero states.
+		if tv.Value != nil && tv.Value.String() == "0" {
+			continue
+		}
+		pass.Reportf(kv.Pos(),
+			"%s field initialized to a non-zero state in a composite literal outside a //mc:statetransition function",
+			obj.Name())
+	}
+}
+
+// checkExhaustive reports switches over a tracked state type that lack a
+// default clause and miss declared constants.
+func checkExhaustive(pass *Pass, tracked map[types.Object]bool, constants map[types.Object][]*types.Const, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	obj := stateTypeOf(tracked, tv.Type)
+	if obj == nil {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, cs := range sw.Body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: exhaustive by construction
+		}
+		for _, e := range cc.List {
+			if c := identObj(pass.TypesInfo, e); c != nil {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range constants[obj] {
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over %s is not exhaustive: missing %s (add the cases or a default clause)",
+			obj.Name(), strings.Join(missing, ", "))
+	}
+}

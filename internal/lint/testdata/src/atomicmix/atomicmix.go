@@ -1,0 +1,44 @@
+// Package atomicmix is the golden fixture for the atomicmix analyzer:
+// a counter struct whose hits field is written via sync/atomic, making
+// every plain read or write of it a race (bad), next to consistent
+// atomic access and fields never touched atomically (clean).
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	miss int64
+}
+
+// bump is the atomic writer that puts hits in atomic territory.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// atomicRead stays on the atomic side; fine.
+func (c *counters) atomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// readPlain races with bump.
+func (c *counters) readPlain() int64 {
+	return c.hits // want "plain access to fixture/atomicmix.counters.hits"
+}
+
+// writePlain is the worse half of the same race.
+func (c *counters) writePlain() {
+	c.hits = 0 // want "plain access to fixture/atomicmix.counters.hits"
+}
+
+// missPlain touches a field nothing accesses atomically; out of scope.
+func (c *counters) missPlain() int64 {
+	return c.miss
+}
+
+// allowedRead documents a happens-before argument; suppressed, not
+// active.
+func (c *counters) allowedRead() int64 {
+	//lint:allow atomicmix fixture: quiescent read after the writers are joined
+	return c.hits
+}

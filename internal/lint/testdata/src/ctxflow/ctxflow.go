@@ -1,0 +1,63 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer's
+// Options rule: composite literals with a Ctx context.Context field
+// built inside context-bearing functions must set it (or set it on the
+// variable before use). Root-context calls are legal here — this
+// package is not serve-suffixed; the serve/ subfixture covers rule 1.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+type Options struct {
+	Ctx  context.Context
+	Name string
+}
+
+func run(o Options) {}
+
+// dropsCtx has ctx in hand and builds Options without it.
+func dropsCtx(ctx context.Context) {
+	run(Options{Name: "x"}) // want "Options literal omits Ctx"
+}
+
+// fromRequest has r.Context() one call away; same drop.
+func fromRequest(w http.ResponseWriter, r *http.Request) {
+	run(Options{Name: "x"}) // want "Options literal omits Ctx"
+}
+
+// threadsCtx sets the field in the literal.
+func threadsCtx(ctx context.Context) {
+	run(Options{Ctx: ctx, Name: "x"})
+}
+
+// twoStep sets the field on the variable afterwards; also fine.
+func twoStep(ctx context.Context) {
+	o := Options{Name: "x"}
+	o.Ctx = ctx
+	run(o)
+}
+
+// noCtxAvailable has nothing to thread; the zero Ctx is the only option.
+func noCtxAvailable() {
+	run(Options{Name: "x"})
+}
+
+// backgroundOK: root contexts are only banned in the serve layer.
+func backgroundOK() context.Context {
+	return context.Background()
+}
+
+type plain struct{ Name string }
+
+// noCtxField: structs without a Ctx field are out of scope.
+func noCtxField(ctx context.Context) {
+	_ = plain{Name: "x"}
+}
+
+// allowedDrop documents a deliberate detachment; suppressed, not active.
+func allowedDrop(ctx context.Context) {
+	//lint:allow ctxflow fixture: audit write must outlive the request
+	run(Options{Name: "x"})
+}

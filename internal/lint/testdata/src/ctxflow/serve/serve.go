@@ -1,0 +1,27 @@
+// Package serve is the serve-suffixed golden fixture for the ctxflow
+// analyzer's root-context rule: the import path ends in "/serve", so
+// context.Background() and context.TODO() are banned outright.
+package serve
+
+import "context"
+
+// handle manufactures a root context with the real one in hand.
+func handle(ctx context.Context) context.Context {
+	return context.Background() // want "severs request cancellation"
+}
+
+// todo is the placeholder variant of the same mistake.
+func todo() context.Context {
+	return context.TODO() // want "severs request cancellation"
+}
+
+// threads passes the incoming context along.
+func threads(ctx context.Context) context.Context {
+	return ctx
+}
+
+// allowedRoot is a server-lifetime context, deliberately detached.
+func allowedRoot() context.Context {
+	//lint:allow ctxflow fixture: server-lifetime context, intentionally detached
+	return context.Background()
+}

@@ -1,0 +1,136 @@
+// Package lockorder is the golden fixture for the lockorder analyzer:
+// a two-level //mc:lockrank hierarchy with inverted acquisitions,
+// blocking calls under a ranked lock, and leaked lock paths (bad) next
+// to correctly ordered, correctly released critical sections (clean).
+package lockorder
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu       sync.Mutex //mc:lockrank 1
+	sessions map[int]*session
+}
+
+type session struct {
+	mu sync.Mutex //mc:lockrank 2
+	n  int
+}
+
+// ordered acquires rank 1 before rank 2 and defers both releases.
+func ordered(s *server, sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.n++
+}
+
+// inverted acquires rank 1 while already holding rank 2.
+func inverted(s *server, sess *session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	s.mu.Lock() // want "inverts the lock hierarchy"
+	s.mu.Unlock()
+}
+
+// reentrant re-acquires the lock it already holds (self-deadlock).
+func reentrant(sess *session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.mu.Lock() // want "inverts the lock hierarchy"
+	sess.mu.Unlock()
+}
+
+// sleepy blocks with the session lock held.
+func sleepy(sess *session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "is held across"
+}
+
+// writes sends the HTTP response with the session lock held.
+func writes(sess *session, w http.ResponseWriter) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	w.Write([]byte("x")) // want "is held across"
+}
+
+// politeSleep releases the lock before blocking.
+func politeSleep(sess *session) {
+	sess.mu.Lock()
+	sess.n++
+	sess.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// slowHelper is opaque at call sites; the directive marks it blocking.
+//
+//mc:blocking
+func slowHelper() {
+	time.Sleep(time.Second)
+}
+
+// callsBlocking holds the lock across an //mc:blocking helper.
+func callsBlocking(sess *session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	slowHelper() // want "is held across"
+}
+
+// leaky returns with the lock held on the error path.
+func leaky(sess *session, fail bool) error {
+	sess.mu.Lock()
+	if fail {
+		return errors.New("boom") // want "still locked"
+	}
+	sess.mu.Unlock()
+	return nil
+}
+
+// balanced releases on every branch; the merge sees no held locks.
+func balanced(sess *session, x bool) {
+	sess.mu.Lock()
+	if x {
+		sess.n++
+		sess.mu.Unlock()
+	} else {
+		sess.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// spawns starts a goroutine under the lock; the goroutine body is its
+// own scope and blocks only itself.
+func spawns(sess *session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// allowedInversion carries a reasoned suppression; the finding is
+// counted as suppressed, not active, so no want comment here.
+func allowedInversion(s *server, sess *session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	//lint:allow lockorder fixture: proves directives silence lockorder findings
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// unranked mutexes are out of scope entirely.
+type leaf struct {
+	mu sync.Mutex
+}
+
+func leafLock(l *leaf) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

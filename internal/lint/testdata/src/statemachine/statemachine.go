@@ -1,0 +1,108 @@
+// Package statemachine is the golden fixture for the statemachine
+// analyzer: an //mc:statemachine phase type whose field writes must go
+// through the //mc:statetransition function, and whose switches must be
+// exhaustive.
+package statemachine
+
+//mc:statemachine
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseRun
+	phaseDone
+)
+
+type job struct {
+	st phase
+}
+
+// advance is the one sanctioned mutation point.
+//
+//mc:statetransition
+func (j *job) advance(to phase) {
+	j.st = to
+}
+
+// poke writes the state field directly.
+func poke(j *job) {
+	j.st = phaseRun // want "outside a //mc:statetransition function"
+}
+
+// mk initializes the field to a non-zero state in a literal.
+func mk() job {
+	return job{st: phaseRun} // want "non-zero state in a composite literal"
+}
+
+// mkZero spells out the zero state, indistinguishable from the implicit
+// zero value; allowed.
+func mkZero() job {
+	return job{st: phaseIdle}
+}
+
+// localVar mutates a local of the type; only durable field writes are
+// the machine's state.
+func localVar() phase {
+	var p phase
+	p = phaseDone
+	return p
+}
+
+// partial misses phaseDone and has no default.
+func partial(p phase) string {
+	switch p { // want "not exhaustive: missing phaseDone"
+	case phaseIdle:
+		return "idle"
+	case phaseRun:
+		return "run"
+	}
+	return ""
+}
+
+// exhaustive covers every constant.
+func exhaustive(p phase) string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	case phaseRun:
+		return "run"
+	case phaseDone:
+		return "done"
+	}
+	return ""
+}
+
+// defaulted is exhaustive by construction.
+func defaulted(p phase) string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	default:
+		return "other"
+	}
+}
+
+// allowedPoke carries a reasoned suppression: suppressed, not active.
+func allowedPoke(j *job) {
+	//lint:allow statemachine fixture: proves directives silence statemachine findings
+	j.st = phaseDone
+}
+
+// untracked types are out of scope.
+type mode int
+
+const modeA mode = iota
+
+type box struct{ m mode }
+
+func pokeUntracked(b *box) {
+	b.m = modeA
+}
+
+func switchUntracked(m mode) string {
+	switch m {
+	case modeA:
+		return "a"
+	}
+	return ""
+}

@@ -13,6 +13,7 @@ import (
 
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/core"
+	"matchcatcher/internal/runlog"
 	"matchcatcher/internal/table"
 	"matchcatcher/internal/telemetry"
 )
@@ -237,6 +238,11 @@ func (s *Server) handleUploadTable(w http.ResponseWriter, r *http.Request, sess 
 		sess.b = t
 	}
 	sess.memUsed += int64(len(body))
+	if sess.st == stateCreated || sess.st == stateTables {
+		// Re-uploads while blocked stay blocked; the blocker result is
+		// replaced on the next /blocker call, not invalidated here.
+		_ = sess.advanceLocked(stateTables)
+	}
 	sess.mu.Unlock()
 	telemetry.SpanFromContext(r.Context()).SetAttrInt("bytes", int64(len(body)))
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -283,6 +289,9 @@ func (s *Server) handleSetBlocker(w http.ResponseWriter, r *http.Request, sess *
 		return
 	}
 	sess.q, sess.c = q, c
+	// Guards above ensure both tables exist, so st >= stateTables and
+	// the advance cannot fail (blocked re-enters itself on re-runs).
+	_ = sess.advanceLocked(stateBlocked)
 	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"blocker": q.Name(), "c_size": c.Len()})
 }
@@ -332,6 +341,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, sess *sessio
 	sess.mu.Lock()
 	sess.dbg = dbg
 	sess.joinedAt = time.Now()
+	// sess.c was non-nil under the joining guard, so st == stateBlocked
+	// and the advance cannot fail.
+	_ = sess.advanceLocked(stateJoined)
 	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"promising_attrs": dbg.Configs().Promising,
@@ -431,11 +443,20 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request, sess *sess
 	}
 	dbg.Finish()
 	sess.mu.Lock()
-	err := s.recordLocked(sess)
-	sess.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("ledger append: %v", err))
+	if err := sess.advanceLocked(stateFinished); err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, err.Error())
 		return
+	}
+	rec, record := s.sessionRecordLocked(sess)
+	sess.mu.Unlock()
+	// Append outside sess.mu: ledger writes are file I/O and must not
+	// stall concurrent requests on this session (lockorder enforces it).
+	if record {
+		if err := runlog.Append(s.opt.LedgerPath, rec); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("ledger append: %v", err))
+			return
+		}
 	}
 	s.transition(sess, "finished")
 	writeJSON(w, http.StatusOK, map[string]any{

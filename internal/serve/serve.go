@@ -113,7 +113,7 @@ type Server struct {
 	flight       *telemetry.FlightRecorder
 	inflightReqs inflightTable
 
-	mu       sync.Mutex // guards sessions, nextID, draining, per-session lastUsed/inflight
+	mu       sync.Mutex //mc:lockrank 1 — guards sessions, nextID, draining, per-session lastUsed/inflight
 	sessions map[string]*session
 	nextID   int64
 	draining bool

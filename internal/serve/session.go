@@ -47,7 +47,8 @@ type session struct {
 	prov   *telemetry.Provenance
 	log    *slog.Logger
 
-	mu       sync.Mutex // the session's lock domain
+	mu       sync.Mutex //mc:lockrank 2 — the session's lock domain
+	st       sessionState
 	memUsed  int64
 	a, b     *table.Table
 	q        blocker.Blocker
@@ -76,22 +77,11 @@ func newSession(id string, cfg sessionConfig, log *slog.Logger) *session {
 	}
 }
 
-// state derives the lifecycle phase from which fields are set.
+// state returns the wire name of the session's lifecycle phase.
 func (sess *session) state() string {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	switch {
-	case sess.dbg != nil && sess.dbg.Finished():
-		return "finished"
-	case sess.dbg != nil:
-		return "joined"
-	case sess.c != nil:
-		return "blocked"
-	case sess.a != nil || sess.b != nil:
-		return "tables"
-	default:
-		return "created"
-	}
+	return sess.st.String()
 }
 
 // debugger returns the session's Debugger, or nil before the join.
@@ -108,14 +98,25 @@ func (sess *session) debugger() *core.Debugger {
 // was written yet.
 func (s *Server) closeSession(sess *session, reason string) {
 	sess.mu.Lock()
+	var advErr error
 	if sess.dbg != nil {
 		sess.dbg.Finish()
+		// An unfinished joined session finishes now; an explicit
+		// /finish already advanced (finished→finished self-loop).
+		advErr = sess.advanceLocked(stateFinished)
 	}
 	sess.root.End()
-	err := s.recordLocked(sess)
+	rec, record := s.sessionRecordLocked(sess)
 	sess.mu.Unlock()
-	if err != nil {
-		s.log.Error("ledger append failed", "session", sess.id, "err", err)
+	if advErr != nil {
+		s.log.Error("close transition failed", "session", sess.id, "err", advErr)
+	}
+	// The ledger append does file I/O; it must not run under sess.mu
+	// (the lockorder analyzer enforces this).
+	if record {
+		if err := runlog.Append(s.opt.LedgerPath, rec); err != nil {
+			s.log.Error("ledger append failed", "session", sess.id, "err", err)
+		}
 	}
 	s.transition(sess, closeTransition(reason))
 }
@@ -133,12 +134,14 @@ func closeTransition(reason string) string {
 	}
 }
 
-// recordLocked appends the session's runlog record — one per completed
-// session, however it completes (explicit finish, delete, idle/LRU
-// eviction, shutdown drain). Caller holds sess.mu.
-func (s *Server) recordLocked(sess *session) error {
+// sessionRecordLocked builds the session's runlog record — one per
+// completed session, however it completes (explicit finish, delete,
+// idle/LRU eviction, shutdown drain) — and marks the session recorded.
+// Caller holds sess.mu; the append itself is the caller's job, after
+// releasing the lock, because runlog.Append does file I/O.
+func (s *Server) sessionRecordLocked(sess *session) (runlog.Record, bool) {
 	if sess.recorded || sess.dbg == nil || s.opt.LedgerPath == "" {
-		return nil
+		return runlog.Record{}, false
 	}
 	sess.recorded = true
 	blockerName := ""
@@ -156,7 +159,7 @@ func (s *Server) recordLocked(sess *session) error {
 		"mcserve:wall_seconds":  time.Since(sess.joinedAt).Seconds(),
 	}
 	rec.AttachTelemetry(sess.reg)
-	return runlog.Append(s.opt.LedgerPath, rec)
+	return rec, true
 }
 
 // admit creates a session under admission control: at MaxSessions it

@@ -1,0 +1,73 @@
+package serve
+
+import "fmt"
+
+// sessionState is the session lifecycle the HTTP API exposes:
+//
+//	created → tables → blocked → joined → finished
+//
+// The zero value is stateCreated, so a freshly admitted session needs
+// no initialization. tables and blocked are re-enterable (clients may
+// re-upload a table or re-run the blocker until the join freezes the
+// inputs); joined is entered exactly once; finished absorbs repeats so
+// an explicit /finish followed by eviction stays idempotent.
+//
+// The statemachine analyzer enforces the shape mechanically: the st
+// field is written only inside advanceLocked, and every switch over the
+// type must be exhaustive.
+//
+//mc:statemachine
+type sessionState int
+
+const (
+	stateCreated sessionState = iota
+	stateTables
+	stateBlocked
+	stateJoined
+	stateFinished
+)
+
+// String returns the wire name of the state, the exact strings the
+// sessionInfo.State field has always carried.
+func (st sessionState) String() string {
+	switch st {
+	case stateCreated:
+		return "created"
+	case stateTables:
+		return "tables"
+	case stateBlocked:
+		return "blocked"
+	case stateJoined:
+		return "joined"
+	case stateFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("sessionState(%d)", int(st))
+}
+
+// advanceLocked is the single sanctioned mutation point of a session's
+// lifecycle state. Caller holds sess.mu. Invalid transitions leave the
+// state untouched and return an error; the handlers' own guards make
+// those unreachable, so an error here means a handler guard regressed.
+//
+//mc:statetransition
+func (sess *session) advanceLocked(to sessionState) error {
+	valid := false
+	switch to {
+	case stateCreated:
+		// Sessions are born created (the zero value); nothing returns.
+	case stateTables:
+		valid = sess.st == stateCreated || sess.st == stateTables
+	case stateBlocked:
+		valid = sess.st == stateTables || sess.st == stateBlocked
+	case stateJoined:
+		valid = sess.st == stateBlocked
+	case stateFinished:
+		valid = sess.st == stateJoined || sess.st == stateFinished
+	}
+	if !valid {
+		return fmt.Errorf("invalid session transition %v -> %v", sess.st, to)
+	}
+	sess.st = to
+	return nil
+}

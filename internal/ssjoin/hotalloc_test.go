@@ -1,0 +1,48 @@
+package ssjoin
+
+import "testing"
+
+// The //mc:hotpath contract, checked dynamically: the static half is
+// hotalloc (mclint -escapes proves the compiler moves nothing to the
+// heap); this half proves it at runtime with the allocation counter.
+// Together they pin the de-boxed heap operations at zero allocations —
+// the whole point of dropping container/heap's interface{} methods from
+// the probe inner loop.
+
+func TestOfferZeroAllocs(t *testing.T) {
+	h := newTopkHeap(64)
+	// Fill the heap so offer exercises the replace-root + down path.
+	for i := int32(0); i < 64; i++ {
+		h.offer(ScoredPair{A: i, B: i, Score: 0.1 + float64(i)*0.01})
+	}
+	if !h.full() {
+		t.Fatal("heap should be full")
+	}
+	var n int32 = 64
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Strictly improving scores keep every offer on the hot
+		// replace path.
+		h.offer(ScoredPair{A: n, B: n, Score: 1 + float64(n)*0.01})
+		n++
+	})
+	if allocs != 0 {
+		t.Errorf("topkHeap.offer allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestEventHeapZeroAllocs(t *testing.T) {
+	var h eventHeap
+	// Pre-grow the backing array; steady-state push/pop in the probe
+	// loop runs within capacity.
+	h.items = make([]event, 0, 128)
+	for i := int32(0); i < 64; i++ {
+		h.push(event{cap: float64(i), side: int8(i % 2), rec: i})
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.push(event{cap: 0.5, side: 0, rec: 99})
+		h.pop()
+	})
+	if allocs != 0 {
+		t.Errorf("eventHeap push+pop allocated %.1f times per run, want 0", allocs)
+	}
+}

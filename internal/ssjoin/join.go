@@ -1,7 +1,6 @@
 package ssjoin
 
 import (
-	"container/heap"
 	"math/bits"
 	"slices"
 	"strconv"
@@ -387,7 +386,7 @@ func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
 			rs.pruneKills++
 			return // this string can never produce a new top-k pair
 		}
-		heap.Push(&events, event{cap: cap, side: side, rec: rec})
+		events.push(event{cap: cap, side: side, rec: rec})
 	}
 	idxSpan := span.Child("ssjoin.index")
 	for i := int32(0); i < int32(nA); i++ {
@@ -444,7 +443,7 @@ func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
 			rs.pruneKills += int64(events.Len())
 			break
 		}
-		heap.Pop(&events)
+		events.pop()
 		rs.prefixEvents++
 		var inst int64
 		if ev.side == 0 {

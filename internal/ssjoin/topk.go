@@ -1,7 +1,6 @@
 package ssjoin
 
 import (
-	"container/heap"
 	"sort"
 
 	"matchcatcher/internal/config"
@@ -47,14 +46,53 @@ func (h *topkHeap) Less(i, j int) bool {
 	}
 	return h.items[i].B > h.items[j].B
 }
-func (h *topkHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *topkHeap) Push(x interface{}) { h.items = append(h.items, x.(ScoredPair)) }
-func (h *topkHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+func (h *topkHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+// push/up/down replicate container/heap's sift algorithm over the
+// concrete element type. container/heap moves elements through
+// interface{} methods, boxing every ScoredPair onto the heap at Push;
+// these run in the probe inner loop, so the boxing was pure GC pressure.
+// Less is a strict total order (score, then ids — no ties), so the sift
+// path is uniquely determined and the results are bit-identical to the
+// stdlib's.
+
+//mc:hotpath
+func (h *topkHeap) push(p ScoredPair) {
+	h.items = append(h.items, p)
+	h.up(len(h.items) - 1)
+}
+
+//mc:hotpath
+func (h *topkHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+//mc:hotpath
+func (h *topkHeap) down(i0 int) {
+	n := len(h.items)
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.Less(j2, j1) {
+			j = j2 // right child
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
 }
 
 // kthScore returns the score a new pair must strictly beat to be retained,
@@ -73,12 +111,14 @@ func (h *topkHeap) full() bool { return len(h.items) >= h.k }
 // the k-th score exactly, the pair with the smaller ids wins, matching
 // the total order list() sorts by. This keeps identically-seeded runs
 // byte-identical even though scoring order varies (flush, list reuse).
+//
+//mc:hotpath
 func (h *topkHeap) offer(p ScoredPair) {
 	if p.Score <= 0 {
 		return
 	}
 	if len(h.items) < h.k {
-		heap.Push(h, p)
+		h.push(p)
 		return
 	}
 	r := h.items[0]
@@ -88,8 +128,9 @@ func (h *topkHeap) offer(p ScoredPair) {
 	if floats.Equal(p.Score, r.Score) && (p.A > r.A || (p.A == r.A && p.B >= r.B)) {
 		return
 	}
+	// Replace the root and re-sift: heap.Fix(h, 0) minus the interface.
 	h.items[0] = p
-	heap.Fix(h, 0)
+	h.down(0)
 }
 
 // list extracts the sorted TopKList.
@@ -130,12 +171,64 @@ func (h *eventHeap) Less(i, j int) bool {
 	}
 	return h.items[i].rec < h.items[j].rec
 }
-func (h *eventHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *eventHeap) Push(x interface{}) { h.items = append(h.items, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
+func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+// Typed sift operations, same shape as topkHeap's: events are pushed
+// and popped once per posting-list extension in the probe loop, and the
+// stdlib heap's interface{} methods boxed every event. Less is a strict
+// total order (cap, side, rec), so the de-boxed sift is bit-identical.
+
+//mc:hotpath
+func (h *eventHeap) push(ev event) {
+	h.items = append(h.items, ev)
+	h.up(len(h.items) - 1)
+}
+
+// pop removes and returns the max-cap event (heap.Pop minus the
+// interface): swap the root to the end, sift the new root down over the
+// shortened prefix, then shrink.
+//
+//mc:hotpath
+func (h *eventHeap) pop() event {
+	n := len(h.items) - 1
+	h.Swap(0, n)
+	h.down(0, n)
+	it := h.items[n]
+	h.items = h.items[:n]
 	return it
+}
+
+//mc:hotpath
+func (h *eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+// down sifts index i0 down within the first n elements (pop shortens
+// the live prefix before sifting).
+//
+//mc:hotpath
+func (h *eventHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.Less(j2, j1) {
+			j = j2 // right child
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
 }

@@ -1,7 +1,6 @@
 package ssjoin
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 	"sort"
@@ -101,6 +100,10 @@ func TestEventHeapOrder(t *testing.T) {
 	}
 }
 
-func initHeap(h *eventHeap) { heap.Init(h) }
+func initHeap(h *eventHeap) {
+	for i := h.Len()/2 - 1; i >= 0; i-- {
+		h.down(i, h.Len())
+	}
+}
 
-func popEvent(h *eventHeap) event { return heap.Pop(h).(event) }
+func popEvent(h *eventHeap) event { return h.pop() }

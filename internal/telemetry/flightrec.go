@@ -128,7 +128,12 @@ func (fr *FlightRecorder) Capacity() int {
 
 // Record assigns the event its sequence number and appends it,
 // overwriting the stripe's oldest event at capacity. It returns the
-// assigned sequence number (0 on a nil recorder).
+// assigned sequence number (0 on a nil recorder). It runs on every
+// request and every session transition, so it must never allocate: the
+// ring slots are pre-sized FlightEvent values and the event moves by
+// copy.
+//
+//mc:hotpath
 func (fr *FlightRecorder) Record(ev FlightEvent) uint64 {
 	if fr == nil {
 		return 0

@@ -203,3 +203,17 @@ func TestExportSubtree(t *testing.T) {
 		t.Error("nil tracer subtree not nil")
 	}
 }
+
+// TestRecordZeroAllocs is the dynamic half of Record's //mc:hotpath
+// contract (the static half is mclint's hotalloc analyzer with
+// -escapes): recording a pre-stamped event moves only value copies.
+func TestRecordZeroAllocs(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	ev := FlightEvent{Time: 1, Kind: "request", Route: "POST /v1/sessions", Session: "s000001"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		fr.Record(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocated %.1f times per run, want 0", allocs)
+	}
+}
