@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet mclint lint-hotalloc lint vuln fuzz-smoke perf-baseline perf-check parallel-bench serve-smoke serve-overhead-bench serve-overhead-baseline serve-overhead-check
+.PHONY: all build test race vet mclint lint-hotalloc lint vuln fuzz-smoke perf-baseline perf-check parallel-bench serve-smoke serve-overhead-bench serve-overhead-baseline serve-overhead-check progress-overhead-bench progress-overhead-baseline progress-overhead-check shard-skew-bench
 
 all: build test
 
@@ -122,6 +122,45 @@ serve-overhead-baseline: serve-overhead-bench
 serve-overhead-check: serve-overhead-bench
 	$(GO) run ./cmd/mcperf check -baseline BENCH_serve_overhead.json \
 		-ledger $(SERVE_LEDGER)
+
+# Progress-tracker overhead on the join kernel
+# (BENCH_progress_overhead.json): the paired internal/ssjoin benchmarks
+# run the same JoinAll workload with and without a Progress tracker
+# attached. Same methodology as the serve-overhead gate: the set runs
+# PROGRESS_COUNT times so each On rep pairs with an Off rep taken
+# seconds later under correlated load, the median paired on/off ratio
+# must stay inside the 5% budget (scripts/serve_overhead.py, the
+# generic On/Off pairing gate), and mcperf check blocks on absolute
+# drift when the host matches the committed baseline's fingerprint.
+PROGRESS_BENCH_OUT ?= progress-bench.out
+PROGRESS_LEDGER    ?= progress-overhead-ledger.jsonl
+PROGRESS_COUNT     ?= 6
+
+progress-overhead-bench:
+	bash scripts/progress_overhead_bench.sh $(PROGRESS_BENCH_OUT) $(PROGRESS_COUNT)
+	rm -f $(PROGRESS_LEDGER)
+	$(GO) run ./cmd/mcperf record -ledger $(PROGRESS_LEDGER) -from-bench \
+		-exp progress-overhead -seed 1 < $(PROGRESS_BENCH_OUT)
+
+progress-overhead-baseline: progress-overhead-bench
+	$(GO) run ./cmd/mcperf report -ledger $(PROGRESS_LEDGER) -format json \
+		-desc "JoinAll with a Progress tracker attached vs not: 900x900 synthetic corpus, city blocker, k=500, probe workers 2, -cpu 1, $(PROGRESS_COUNT) paired invocations; budget: the tracker adds <5% on the median paired on/off ratio (gated by scripts/serve_overhead.py via scripts/progress_overhead_bench.sh)" \
+		-out BENCH_progress_overhead.json
+
+progress-overhead-check: progress-overhead-bench
+	$(GO) run ./cmd/mcperf check -baseline BENCH_progress_overhead.json \
+		-ledger $(PROGRESS_LEDGER)
+
+# Per-shard work distribution on the long-tail SKEW profile
+# (cmd/mcbench -exp shard-skew): joins at 1/2/4/8 probe shards with the
+# progress tracker attached, recording each shard's popped prefix
+# events and the imbalance ratio to the ledger.
+SKEW_LEDGER ?= shardskew-ledger.jsonl
+
+shard-skew-bench:
+	rm -f $(SKEW_LEDGER)
+	$(GO) run ./cmd/mcbench -exp shard-skew -seed $(PERF_SEED) \
+		-count 3 -ledger $(SKEW_LEDGER)
 
 # Intra-join parallelism speedup curve (BENCH_parallel_join.json): the
 # M2 join sweep at probe worker counts 1/2/4/8, each multi-worker run

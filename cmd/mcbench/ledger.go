@@ -42,6 +42,15 @@ func metricsOf(rows interface{}) map[string]float64 {
 		}
 	case []experiments.ParallelJoinPoint:
 		parallelJoinMetrics(m, "paralleljoin", rs)
+	case []experiments.ShardSkewPoint:
+		// The imbalance ratio is a distribution property, not a speed:
+		// no perfstat direction suffix, so mcperf tracks it without
+		// calling drift a regression.
+		for _, p := range rs {
+			key := fmt.Sprintf("shardskew/%s/%s/k%d/sh%d", p.Dataset, p.Blocker, p.K, p.Shards)
+			m[key+":join_seconds"] = p.Seconds
+			m[key+":shard_imbalance"] = p.Imbalance
+		}
 	case experiments.PerfGateResult:
 		for _, p := range rs.Fig9 {
 			m[fmt.Sprintf("perfgate/%s/%s/k%d:join_seconds", p.Dataset, p.Blocker, p.K)] = p.Seconds

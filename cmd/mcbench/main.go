@@ -6,8 +6,8 @@
 //
 // Experiments: table1, table3, table4, hashdebug, learned, fig9,
 // ablate-config, ablate-long, ablate-joint, ablate-verifier, sensitivity,
-// parallel-join, perf-gate, all. -datasets filters table3 to a
-// comma-separated dataset list.
+// parallel-join, shard-skew, perf-gate, all. -datasets filters table3 to
+// a comma-separated dataset list.
 //
 // -probe-workers sets the goroutine budget inside each single-config join
 // (intra-join probe sharding); results are bit-identical at every value,
@@ -310,6 +310,22 @@ func (c *bench) run(env *experiments.Env, exp, datasets string, opt experiments.
 				p.Dataset, p.Blocker, p.K, p.Workers, p.Seconds, p.SpeedupX)
 		}
 		return c.emit(points, experiments.FormatParallelJoin(points))
+
+	case "shard-skew":
+		// Per-shard probe-work distribution on the long-tail SKEW profile:
+		// one join per shard count with the progress tracker attached,
+		// reading back its per-shard pop counts and skew summary. Results
+		// are bit-compared across shard counts as they are timed — only
+		// the work split moves, never the output.
+		points, err := env.RunShardSkew(experiments.ShardSkewSpec(), c.opts.K, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			c.progress("join %s/%s k=%d shards=%d %.2fs imb %.2f work %v\n",
+				p.Dataset, p.Blocker, p.K, p.Shards, p.Seconds, p.Imbalance, p.ShardWork)
+		}
+		return c.emit(points, experiments.FormatShardSkew(points))
 
 	case "perf-gate":
 		// The pinned CI regression workload: three M2 joins plus one

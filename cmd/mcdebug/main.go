@@ -47,6 +47,7 @@ import (
 	"matchcatcher/internal/metrics"
 	"matchcatcher/internal/oracle"
 	"matchcatcher/internal/runlog"
+	"matchcatcher/internal/ssjoin"
 	"matchcatcher/internal/table"
 	"matchcatcher/internal/telemetry"
 )
@@ -69,6 +70,7 @@ type cliOpts struct {
 	n, k                   int
 	workers                int
 	probeWorkers           int
+	progress               bool
 	seed                   int64
 	drops, keeps, equals   []string
 	log                    *slog.Logger
@@ -91,6 +93,7 @@ func mainE() int {
 	flag.IntVar(&o.k, "k", 1000, "top-k per config")
 	flag.IntVar(&o.workers, "workers", 0, "concurrent config joins (0 = GOMAXPROCS); results are bit-identical at any value")
 	flag.IntVar(&o.probeWorkers, "probe-workers", 1, "goroutines inside each single-config join; results are bit-identical at any value")
+	flag.BoolVar(&o.progress, "progress", false, "draw a live join progress meter on stderr (fraction, prune tiers, shard skew, ETA)")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.reportPath, "report", "", "write a JSON session report to this path")
 	flag.BoolVar(&o.canonical, "canonical", false, "omit the telemetry snapshot from -report so same-seed runs write byte-identical reports")
@@ -228,7 +231,19 @@ func run(o cliOpts) error {
 	opt.Join.ProbeWorkers = o.probeWorkers
 	opt.Verifier.N = o.n
 	opt.Verifier.Seed = o.seed
+	// The meter stops as soon as core.New returns: the join is the only
+	// long phase, and a meter left running would redraw over the
+	// interactive labeling prompt.
+	var stopMeter func()
+	if o.progress {
+		prog := ssjoin.NewProgress()
+		opt.Join.Progress = prog
+		stopMeter = progressMeter(os.Stderr, prog, 200*time.Millisecond)
+	}
 	dbg, err := core.New(a, b, c, opt)
+	if stopMeter != nil {
+		stopMeter()
+	}
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 //	curl -s -XPUT  --data-binary @B.csv 'localhost:8642/v1/sessions/s000001/tables/b?name=B'
 //	curl -s -XPOST localhost:8642/v1/sessions/s000001/blocker -d '{"attr_equals":["City"]}'
 //	curl -s -XPOST localhost:8642/v1/sessions/s000001/join
+//	curl -s       localhost:8642/v1/sessions/s000001/progress   # live join progress (SSE with Accept: text/event-stream)
 //	curl -s -XPOST localhost:8642/v1/sessions/s000001/next
 //	curl -s -XPOST localhost:8642/v1/sessions/s000001/labels -d '{"labels":[true,false,false]}'
 //	curl -s       'localhost:8642/v1/sessions/s000001/report'
@@ -61,6 +62,7 @@ func mainE() int {
 	flightCap := flag.Int("flight-cap", 0, "flight-recorder ring capacity in events (0 selects the default, negative disables)")
 	flightDump := flag.String("flight-dump", "mcserve-flightrecord.json", "path for automatic flight-record dumps (SIGQUIT and shutdown drain; empty disables)")
 	slowRequest := flag.Duration("slow-request", time.Second, "watchdog threshold: slower requests enter the flight ring with their span tree (negative disables)")
+	progressInterval := flag.Duration("progress-interval", 250*time.Millisecond, "frame cadence of the SSE join-progress stream (GET /v1/sessions/{id}/progress with Accept: text/event-stream)")
 	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
 
@@ -80,6 +82,7 @@ func mainE() int {
 		FlightRecorderCap: *flightCap,
 		SlowRequest:       *slowRequest,
 		FlightDumpPath:    *flightDump,
+		ProgressInterval:  *progressInterval,
 	})
 
 	// SIGQUIT: dump the flight record and keep serving — the live

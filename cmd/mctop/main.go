@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -229,6 +230,63 @@ func quantileFromBuckets(buckets []bucket, q float64) float64 {
 	return lastFinite
 }
 
+// joinProgress is the subset of the progress endpoint's wire shape the
+// running-joins pane renders. mctop decodes it structurally (no import
+// of internal/serve or internal/ssjoin) because it talks only to the
+// public API, like any other client.
+type joinProgress struct {
+	Session string `json:"session"`
+	State   string `json:"state"`
+	Joining bool   `json:"joining"`
+	Join    struct {
+		ElapsedSeconds float64 `json:"elapsed_seconds"`
+		ConfigsTotal   int64   `json:"configs_total"`
+		ConfigsDone    int64   `json:"configs_done"`
+		ProbesDone     int64   `json:"probes_done"`
+		ProbesSkipped  int64   `json:"probes_skipped"`
+		ProbesTotal    int64   `json:"probes_total"`
+		PushCap        int64   `json:"prune_kill_push_cap"`
+		LoopBreak      int64   `json:"prune_kill_loop_break"`
+		FlushBound     int64   `json:"prune_kill_flush_bound"`
+		Fraction       float64 `json:"fraction"`
+		ETASeconds     float64 `json:"eta_seconds"`
+		Done           bool    `json:"done"`
+		Cancelled      bool    `json:"cancelled"`
+		Skew           struct {
+			Shards         int     `json:"shards"`
+			ImbalanceRatio float64 `json:"imbalance_ratio"`
+		} `json:"skew"`
+	} `json:"join"`
+}
+
+// gatherJoins polls the progress endpoint for every session with a join
+// request currently in flight (per the flight dump's in-flight table)
+// and returns the live snapshots, session order. Endpoint errors drop
+// the entry — the pane is best-effort decoration over the dump.
+func gatherJoins(client *http.Client, base string, inflight []telemetry.FlightEvent) []joinProgress {
+	seen := map[string]bool{}
+	var out []joinProgress
+	for _, ev := range inflight {
+		if ev.Route != "join" || ev.Session == "" || seen[ev.Session] {
+			continue
+		}
+		seen[ev.Session] = true
+		resp, err := client.Get(base + "/v1/sessions/" + ev.Session + "/progress")
+		if err != nil {
+			continue
+		}
+		var jp joinProgress
+		derr := json.NewDecoder(resp.Body).Decode(&jp)
+		resp.Body.Close()
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		out = append(out, jp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}
+
 // routeStat aggregates one route's request series across status codes.
 type routeStat struct {
 	route    string
@@ -244,6 +302,7 @@ type frame struct {
 	routes   []routeStat
 	recent   []telemetry.FlightEvent // most recent slow/errored events, newest first
 	inflight []telemetry.FlightEvent
+	joins    []joinProgress // live snapshots of in-flight joins
 	dump     *telemetry.FlightDump
 }
 
@@ -302,6 +361,7 @@ func gather(client *http.Client, base string, recentN int) (*frame, error) {
 		}
 	}
 
+	f.joins = gatherJoins(client, base, f.inflight)
 	f.routes = routeStats(metrics)
 	return f, nil
 }
@@ -422,6 +482,23 @@ func (f *frame) render(w io.Writer, prev *frame) {
 		fmt.Fprintf(w, "\nin flight (%d):\n", len(f.inflight))
 		for _, ev := range f.inflight {
 			fmt.Fprintf(w, "  %-16s %-8s session=%s\n", ev.Route, ev.Method, ev.Session)
+		}
+	}
+	if len(f.joins) > 0 {
+		fmt.Fprintf(w, "\nrunning joins (%d):\n", len(f.joins))
+		for _, jp := range f.joins {
+			j := jp.Join
+			line := fmt.Sprintf("  %-8s %5.1f%%  configs %d/%d  probes %.2g/%.2g  pruned %.2g",
+				jp.Session, j.Fraction*100, j.ConfigsDone, j.ConfigsTotal,
+				float64(j.ProbesDone+j.ProbesSkipped), float64(j.ProbesTotal),
+				float64(j.PushCap+j.LoopBreak+j.FlushBound))
+			if j.Skew.Shards > 1 {
+				line += fmt.Sprintf("  shards %d imb %.2f", j.Skew.Shards, j.Skew.ImbalanceRatio)
+			}
+			if !j.Done && j.ETASeconds >= 0 {
+				line += fmt.Sprintf("  eta %s", fmtDur(j.ETASeconds))
+			}
+			fmt.Fprintln(w, line)
 		}
 	}
 	if len(f.recent) > 0 {

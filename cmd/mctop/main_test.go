@@ -148,6 +148,52 @@ func TestOnceAgainstLiveServer(t *testing.T) {
 	}
 }
 
+// TestRunningJoinsPane feeds gatherJoins a fake in-flight table and a
+// stub progress endpoint, and checks the pane renders one line per
+// distinct joining session.
+func TestRunningJoinsPane(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sessions/s000001/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{
+			"session": "s000001", "state": "blocked", "joining": true,
+			"join": {
+				"elapsed_seconds": 1.5, "configs_total": 7, "configs_done": 3,
+				"probes_done": 600, "probes_skipped": 150, "probes_total": 1500,
+				"prune_kill_push_cap": 40, "prune_kill_loop_break": 9, "prune_kill_flush_bound": 3,
+				"fraction": 0.5, "eta_seconds": 1.5, "done": false, "cancelled": false,
+				"skew": {"shards": 4, "work_min": 100, "work_max": 250, "work_p50": 160, "imbalance_ratio": 1.67}
+			}
+		}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	inflight := []telemetry.FlightEvent{
+		{Route: "join", Session: "s000001"},
+		{Route: "join", Session: "s000001"}, // duplicate folds away
+		{Route: "next", Session: "s000002"}, // not a join
+		{Route: "join", Session: "s000404"}, // endpoint errors drop the entry
+	}
+	joins := gatherJoins(http.DefaultClient, ts.URL, inflight)
+	if len(joins) != 1 || joins[0].Session != "s000001" {
+		t.Fatalf("gatherJoins = %+v", joins)
+	}
+	if j := joins[0].Join; j.Fraction != 0.5 || j.Skew.Shards != 4 || j.PushCap != 40 {
+		t.Errorf("decoded join = %+v", j)
+	}
+
+	var out bytes.Buffer
+	f := &frame{at: time.Now(), joins: joins}
+	f.render(&out, nil)
+	text := out.String()
+	for _, want := range []string{"running joins (1)", "s000001", "50.0%", "configs 3/7", "shards 4 imb 1.67", "eta"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("pane lacks %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestOnceAgainstDeadServer(t *testing.T) {
 	var out bytes.Buffer
 	if rc := mainE(&out, []string{"-once", "-addr", "http://127.0.0.1:1"}); rc != 1 {

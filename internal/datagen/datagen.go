@@ -43,7 +43,13 @@ type FieldSpec struct {
 	PoolMinWords int     // FieldPool: words per pool value (default 1)
 	PoolMaxWords int     // FieldPool
 	BVariantProb float64 // FieldPool: probability B renders the variant form
-	Lo, Hi       float64 // FieldInt / FieldFloat
+	// Long-tail knob (FieldPhrase): LongTailPct of entities get
+	// LongTailWords extra words, producing a few token-heavy "monster"
+	// records whose probe cost dwarfs the rest. Used by the shard-skew
+	// observability experiment; zero disables it.
+	LongTailPct   float64
+	LongTailWords int
+	Lo, Hi        float64 // FieldInt / FieldFloat
 	DirtA        Dirt    // error model for table A renderings
 	DirtB        Dirt    // error model for table B renderings
 }
@@ -152,6 +158,11 @@ func Generate(p Profile) (*Dataset, error) {
 				k := f.MinWords
 				if f.MaxWords > f.MinWords {
 					k += rng.Intn(f.MaxWords - f.MinWords + 1)
+				}
+				// The guard keeps the rng draw sequence — and so every
+				// existing profile's bytes — unchanged when the knob is off.
+				if f.LongTailPct > 0 && rng.Float64() < f.LongTailPct {
+					k += f.LongTailWords
 				}
 				ent[i] = cleanField{s: vocab.MixedPhrase(k, f.RareWords), pool: -1}
 			case FieldPool:

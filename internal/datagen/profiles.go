@@ -194,6 +194,37 @@ func Papers() Profile {
 	}
 }
 
+// Skewed is not a Table-1 profile: it drives the shard-skew
+// observability experiment. A handful of entities carry monster titles
+// of ~3000 words vs the usual 3-7, so per-shard probe work under the
+// rec-modulo-shards split is dominated by where those few records
+// happen to land and the join's shard-skew telemetry has something
+// real to report. The shape is deliberate: the join shards the larger
+// side and replays the smaller side's prefix events in every shard, so
+// the tables are asymmetric (monsters concentrate on the sharded A
+// side), and the tail is sparse-but-huge rather than dense-but-mild —
+// many small monsters would average out across shards, while a few
+// huge ones leave some shards without any.
+func Skewed() Profile {
+	return Profile{
+		// Seed 151 is chosen so every monster lands on the (sharded) A
+		// side: a monster on the replayed B side would inflate every
+		// shard equally and mask the imbalance the profile exists to show.
+		Name: "SKEW", RowsA: 2000, RowsB: 400, Matches: 100,
+		VocabSize: 4000, Seed: 151, GoldKnown: true,
+		Fields: []FieldSpec{
+			{Name: "title", Kind: FieldPhrase, MinWords: 3, MaxWords: 7, RareWords: 0.5,
+				LongTailPct: 0.008, LongTailWords: 3000,
+				DirtA: Dirt{Typo: 0.10, WordDrop: 0.10},
+				DirtB: Dirt{Typo: 0.10, WordDrop: 0.10, ExtraWord: 0.10}},
+			{Name: "city", Kind: FieldPool, PoolSize: 25, PoolVariants: 0.3, BVariantProb: 0.3,
+				DirtA: Dirt{}, DirtB: Dirt{Missing: 0.05}},
+			{Name: "year", Kind: FieldInt, Lo: 1990, Hi: 2020,
+				DirtA: Dirt{}, DirtB: Dirt{Missing: 0.03}},
+		},
+	}
+}
+
 // AllProfiles returns the seven Table-1 profiles in the paper's order.
 func AllProfiles() []Profile {
 	return []Profile{

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/config"
+	"matchcatcher/internal/metrics"
+	"matchcatcher/internal/ssjoin"
+)
+
+// ShardSkewPoint is one measurement of the shard-skew experiment: a
+// full joint top-k join of the long-tail SKEW dataset at one probe
+// shard count, with the progress tracker's per-shard work distribution
+// read back after completion. Work units are popped prefix events.
+type ShardSkewPoint struct {
+	Dataset string
+	Blocker string
+	K       int
+	Shards  int // ssjoin ProbeWorkers for this point
+	Seconds float64
+	// The tracker's post-run skew summary over shard slots.
+	WorkMin   int64
+	WorkMax   int64
+	WorkP50   int64
+	Imbalance float64 // max work over mean work; 1 = perfectly balanced
+	// ShardWork is the raw per-shard pop count, one entry per active
+	// shard slot in slot order.
+	ShardWork []int64
+}
+
+// ShardSkewSpec is the experiment's canonical blocker: attribute
+// equivalence on SKEW's city pool, which keeps the candidate set large
+// enough that the monster records' probe cost dominates their shard.
+func ShardSkewSpec() Spec {
+	return Spec{Dataset: "SKEW", Label: "AE-city", Blocker: blocker.NewAttrEquivalence("city")}
+}
+
+// RunShardSkew joins the dataset once per shard count with a progress
+// tracker attached and records each run's per-shard work distribution.
+// The SKEW profile plants a few token-heavy monster records, so the
+// rec-modulo-shards split produces genuinely uneven shards and the
+// recorded imbalance ratios exercise the telemetry on real skew rather
+// than noise.
+//
+// Like RunParallelJoin, every multi-shard output is bit-compared
+// against the first run's as it is timed: shard count and the attached
+// tracker may move work and counters around, never the result.
+func (e *Env) RunShardSkew(spec Spec, k int, shardCounts []int) ([]ShardSkewPoint, error) {
+	d, err := e.Dataset(spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	res, err := config.Generate(d.A, d.B, config.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cor := ssjoin.NewCorpus(d.A, d.B, res)
+	_, c, err := e.Block(spec.Dataset, spec.Blocker)
+	if err != nil {
+		return nil, err
+	}
+	var ref *ssjoin.JoinResult
+	var points []ShardSkewPoint
+	for _, shards := range shardCounts {
+		prog := ssjoin.NewProgress()
+		start := time.Now()
+		out := ssjoin.JoinAll(cor, c, ssjoin.Options{K: k, ProbeWorkers: shards, Progress: prog})
+		secs := time.Since(start).Seconds()
+		if ref == nil {
+			ref = out
+		} else if err := sameLists(ref.Lists, out.Lists); err != nil {
+			return nil, fmt.Errorf("shard-skew %s/%s k=%d shards=%d diverged from shards=%d: %w",
+				spec.Dataset, spec.Label, k, shards, shardCounts[0], err)
+		}
+		snap := prog.Snapshot()
+		work := make([]int64, 0, len(snap.Shards))
+		for _, sh := range snap.Shards {
+			work = append(work, sh.ProbesDone)
+		}
+		points = append(points, ShardSkewPoint{
+			Dataset: spec.Dataset, Blocker: spec.Label, K: k, Shards: shards,
+			Seconds: secs,
+			WorkMin: snap.Skew.WorkMin, WorkMax: snap.Skew.WorkMax, WorkP50: snap.Skew.WorkP50,
+			Imbalance: snap.Skew.ImbalanceRatio,
+			ShardWork: work,
+		})
+	}
+	return points, nil
+}
+
+// FormatShardSkew renders the work-distribution table, one row per
+// shard count.
+func FormatShardSkew(points []ShardSkewPoint) string {
+	t := &metrics.Table{Headers: []string{"Dataset", "Blocker", "k", "shards", "runtime(s)", "work min/p50/max", "imbalance", "per-shard pops"}}
+	for _, p := range points {
+		t.Add(p.Dataset, p.Blocker, p.K, p.Shards,
+			fmt.Sprintf("%.2f", p.Seconds),
+			fmt.Sprintf("%d/%d/%d", p.WorkMin, p.WorkP50, p.WorkMax),
+			fmt.Sprintf("%.2f", p.Imbalance),
+			fmt.Sprint(p.ShardWork))
+	}
+	return t.String()
+}

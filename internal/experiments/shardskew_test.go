@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestRunShardSkew(t *testing.T) {
+	// Full scale: the SKEW profile is already small (2000 x 400), and
+	// scaling it down would shed the handful of monster records the
+	// experiment exists to observe.
+	e := NewEnv(1)
+	points, err := e.RunShardSkew(ShardSkewSpec(), 500, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	one, four := points[0], points[1]
+	if one.Shards != 1 || four.Shards != 4 {
+		t.Fatalf("shard counts = %d, %d", one.Shards, four.Shards)
+	}
+	if len(one.ShardWork) != 1 || len(four.ShardWork) != 4 {
+		t.Fatalf("shard work lengths = %d, %d", len(one.ShardWork), len(four.ShardWork))
+	}
+	// The single-shard run is balanced by definition; the 4-shard run
+	// must see the monster records' lumpy placement.
+	if one.Imbalance != 1 {
+		t.Errorf("1-shard imbalance = %g, want 1", one.Imbalance)
+	}
+	if four.Imbalance < 1.05 {
+		t.Errorf("4-shard imbalance = %g; SKEW profile should produce real skew", four.Imbalance)
+	}
+	if four.WorkMin > four.WorkP50 || four.WorkP50 > four.WorkMax {
+		t.Errorf("work order stats out of order: %d/%d/%d", four.WorkMin, four.WorkP50, four.WorkMax)
+	}
+	for i, w := range four.ShardWork {
+		if w <= 0 {
+			t.Errorf("shard %d did no work", i)
+		}
+	}
+	if FormatShardSkew(points) == "" {
+		t.Error("empty table")
+	}
+}

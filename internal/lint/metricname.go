@@ -5,6 +5,8 @@ import (
 	"go/constant"
 	"go/types"
 	"regexp"
+	"sort"
+	"strings"
 )
 
 // MetricNameAnalyzer enforces the repo's metric naming contract: every
@@ -19,9 +21,10 @@ var MetricNameAnalyzer = &Analyzer{
 	Doc: "metric names must be compile-time constants matching mc_<pkg>_<name> " +
 		"with <pkg> equal to the registering package's name; the mc_runtime_* " +
 		"and mc_build_* namespaces are reserved for the telemetry package, " +
-		"mc_serve_* is scoped by import path to internal/serve, and labels on " +
-		"mc_serve_* series must be inline telemetry.L calls with constant keys " +
-		"from the bounded serve label vocabulary (cardinality guard)",
+		"mc_serve_* / mc_ssjoin_* are scoped by import path to internal/serve " +
+		"and internal/ssjoin, and labels on path-scoped series must be inline " +
+		"telemetry.L calls with constant keys from the namespace's bounded " +
+		"label vocabulary (cardinality guard)",
 	Run: runMetricName,
 }
 
@@ -39,13 +42,16 @@ var reservedMetricNamespaces = map[string]bool{
 
 // pathScopedMetricNamespaces are namespace segments tied to one
 // specific package by import path, not merely by package name:
-// mc_serve_* belongs to the HTTP service layer (internal/serve), whose
-// series operational dashboards and alerts key on, so they must be
+// mc_serve_* belongs to the HTTP service layer (internal/serve) and
+// mc_ssjoin_* (including the mc_ssjoin_progress_* / mc_ssjoin_shard_skew_*
+// join-observability series) to the joint executor (internal/ssjoin).
+// These series feed operational dashboards and alerts, so they must be
 // emitted from exactly one place. The ordinary mc_<pkg>_<name> rule
-// would admit any package that happens to be named "serve"; the path
+// would admit any package that happens to share the name; the path
 // scope closes that hole.
 var pathScopedMetricNamespaces = map[string]func(path string) bool{
-	"serve": isServePkg,
+	"serve":  isServePkg,
+	"ssjoin": isSSJoinPkg,
 }
 
 // pathScopedLabelKeys is the bounded label vocabulary per path-scoped
@@ -57,7 +63,8 @@ var pathScopedMetricNamespaces = map[string]func(path string) bool{
 // eviction enum; the registry-side twin, TestServeLabelCardinality,
 // checks the values at runtime) — keeps the surface finite.
 var pathScopedLabelKeys = map[string]map[string]bool{
-	"serve": {"route": true, "code": true, "reason": true},
+	"serve":  {"route": true, "code": true, "reason": true},
+	"ssjoin": {"q": true, "tier": true},
 }
 
 // registrationMethods are the Registry methods (and same-named
@@ -171,8 +178,13 @@ func checkScopedLabels(pass *Pass, call *ast.CallExpr, ns string) {
 		}
 		key := constant.StringVal(kv.Value)
 		if !allowed[key] {
+			keys := make([]string, 0, len(allowed))
+			for k := range allowed {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
 			pass.Reportf(lc.Args[0].Pos(),
-				"label key %q is outside the bounded mc_%s_* label set (allowed: code, reason, route); new dashboard dimensions must be added to pathScopedLabelKeys deliberately", key, ns)
+				"label key %q is outside the bounded mc_%s_* label set (allowed: %s); new dashboard dimensions must be added to pathScopedLabelKeys deliberately", key, ns, strings.Join(keys, ", "))
 		}
 	}
 }

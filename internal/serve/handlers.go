@@ -14,6 +14,7 @@ import (
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/core"
 	"matchcatcher/internal/runlog"
+	"matchcatcher/internal/ssjoin"
 	"matchcatcher/internal/table"
 	"matchcatcher/internal/telemetry"
 )
@@ -309,12 +310,19 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, sess *sessio
 		return
 	}
 	sess.joining = true
+	// Fresh tracker and done-signal per attempt: progress requests racing
+	// this join observe the attempt's own counters, and SSE streams wake
+	// on joinDone no matter how the attempt ends.
+	prog := ssjoin.NewProgress()
+	joinDone := make(chan struct{})
+	sess.prog, sess.joinDone = prog, joinDone
 	a, b, c := sess.a, sess.b, sess.c
 	sess.mu.Unlock()
 	defer func() {
 		sess.mu.Lock()
 		sess.joining = false
 		sess.mu.Unlock()
+		close(joinDone)
 	}()
 
 	opt := core.Options{
@@ -324,6 +332,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, sess *sessio
 		Logger:     sess.log,
 		Provenance: sess.prov,
 	}
+	opt.Join.Progress = prog
 	opt.Join.K = sess.cfg.K
 	opt.Join.Workers = sess.cfg.Workers
 	opt.Join.ProbeWorkers = sess.cfg.ProbeWorkers

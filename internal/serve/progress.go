@@ -1,0 +1,128 @@
+package serve
+
+// Join progress surface: GET /v1/sessions/{id}/progress answers a JSON
+// snapshot of the session's join tracker, or — when the client sends
+// Accept: text/event-stream — a live SSE stream of snapshots while the
+// join runs. The tracker's snapshots are lock-free reads of atomic
+// counters, so neither mode touches session.mu after the initial fetch
+// and a polling client never stalls the join (DESIGN.md "Join progress
+// & skew observability").
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"matchcatcher/internal/ssjoin"
+)
+
+// progressResponse is the wire shape of one progress frame: the
+// session's lifecycle state plus the join tracker's snapshot.
+type progressResponse struct {
+	Session string                  `json:"session"`
+	State   string                  `json:"state"`
+	Joining bool                    `json:"joining"`
+	Join    ssjoin.ProgressSnapshot `json:"join"`
+}
+
+// handleProgress serves the join progress surface. Before any join has
+// started the answer is 409, mirroring requireDebugger's contract; once
+// a join attempt exists the handler answers for it whether it is still
+// running or long finished.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request, sess *session) {
+	sess.mu.Lock()
+	prog, joinDone := sess.prog, sess.joinDone
+	joining := sess.joining
+	sess.mu.Unlock()
+	if prog == nil {
+		writeError(w, http.StatusConflict, "no join has started; POST to /join first")
+		return
+	}
+	if wantsEventStream(r) {
+		s.streamProgress(w, r, sess, prog, joinDone)
+		return
+	}
+	writeJSON(w, http.StatusOK, progressResponse{
+		Session: sess.id,
+		State:   sess.state(),
+		Joining: joining,
+		Join:    prog.Snapshot(),
+	})
+}
+
+// wantsEventStream reports whether the client asked for SSE.
+func wantsEventStream(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mediaType := strings.TrimSpace(part)
+			if i := strings.IndexByte(mediaType, ';'); i >= 0 {
+				mediaType = strings.TrimSpace(mediaType[:i])
+			}
+			if mediaType == "text/event-stream" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// streamProgress emits `event: progress` frames every ProgressInterval
+// while the join runs, then one terminal `event: done` frame, and tears
+// down on whichever comes first: join completion (joinDone), client
+// disconnect, or the request deadline (both via the request context).
+// An SSE request against an already-finished join degenerates to the
+// terminal frame alone.
+func (s *Server) streamProgress(w http.ResponseWriter, r *http.Request, sess *session, prog *ssjoin.Progress, joinDone <-chan struct{}) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string) error {
+		frame := progressResponse{
+			Session: sess.id,
+			State:   sess.state(),
+			Joining: event == "progress",
+			Join:    prog.Snapshot(),
+		}
+		data, err := json.Marshal(frame)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	}
+
+	ticker := time.NewTicker(s.opt.ProgressInterval)
+	defer ticker.Stop()
+	if err := emit("progress"); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client went away or the request deadline fired: stop
+			// streaming. The join itself is owned by the join request's
+			// context, not this one, and keeps running.
+			return
+		case <-joinDone:
+			_ = emit("done")
+			return
+		case <-ticker.C:
+			if err := emit("progress"); err != nil {
+				return
+			}
+		}
+	}
+}

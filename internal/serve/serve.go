@@ -75,6 +75,11 @@ type Options struct {
 	// when shutdown drain begins and again after Close, so the evidence
 	// survives the process.
 	FlightDumpPath string
+	// ProgressInterval is the frame cadence of the SSE progress stream on
+	// GET /v1/sessions/{id}/progress (default 250ms). Frames are built
+	// from the join tracker's lock-free snapshot, so a short interval
+	// costs the server, not the join.
+	ProgressInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +97,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SlowRequest == 0 {
 		o.SlowRequest = time.Second
+	}
+	if o.ProgressInterval <= 0 {
+		o.ProgressInterval = 250 * time.Millisecond
 	}
 	return o
 }
@@ -174,6 +182,7 @@ func (s *Server) routes() {
 	s.route("POST /v1/sessions/{id}/next", "next", s.sessionRoute("next", s.handleNext))
 	s.route("POST /v1/sessions/{id}/labels", "labels", s.sessionRoute("labels", s.handleLabels))
 	s.route("POST /v1/sessions/{id}/finish", "finish", s.sessionRoute("finish", s.handleFinish))
+	s.route("GET /v1/sessions/{id}/progress", "progress", s.sessionRoute("progress", s.handleProgress))
 	s.route("GET /v1/sessions/{id}/report", "report", s.sessionRoute("report", s.handleReport))
 	s.route("GET /v1/sessions/{id}/explain", "explain", s.sessionRoute("explain", s.handleExplain))
 	s.route("GET /debug/flightrecord", "flightrecord", s.handleFlightRecord)
@@ -200,6 +209,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so the SSE progress stream
+// can push frames through the envelope mid-request.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // route registers a handler wrapped with the request envelope: a

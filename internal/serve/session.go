@@ -9,6 +9,7 @@ import (
 	"matchcatcher/internal/blocker"
 	"matchcatcher/internal/core"
 	"matchcatcher/internal/runlog"
+	"matchcatcher/internal/ssjoin"
 	"matchcatcher/internal/table"
 	"matchcatcher/internal/telemetry"
 )
@@ -57,6 +58,16 @@ type session struct {
 	dbg      *core.Debugger
 	joinedAt time.Time
 	recorded bool // ledger record written (exactly once per completed session)
+
+	// Join observability: prog is the live tracker attached to the most
+	// recent join attempt (its snapshots are lock-free, so the progress
+	// handler reads it without holding mu) and joinDone is closed when
+	// that attempt ends, however it ends — success, error, or
+	// cancellation — so SSE streams tear down promptly. Both are fresh
+	// per attempt and stay readable after it: a progress request on a
+	// joined session answers the final snapshot.
+	prog     *ssjoin.Progress
+	joinDone chan struct{}
 }
 
 func newSession(id string, cfg sessionConfig, log *slog.Logger) *session {

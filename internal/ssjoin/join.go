@@ -60,6 +60,11 @@ type runOpts struct {
 	// worker). Exposed for the metamorphic tests, which prove the shard
 	// count is invisible in the output.
 	probeShards int
+	// prog is the run's live progress tracker; nil disables sampling
+	// entirely (the probe loop's only residue is a nil check per stride).
+	// The tracker is observe-only — it never feeds back into the join,
+	// so attaching it cannot change any output bit.
+	prog *Progress
 }
 
 // Candidate-pair states are packed into a map[int64]int32 to keep the
@@ -211,9 +216,12 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	tokSpan.SetAttrInt("records", int64(nA+nB))
 	tokSpan.End()
 
+	opt.prog.configStarted()
+	defer opt.prog.configDone()
 	if shards <= 1 {
 		top := joinShard(cor, mask, opt, shardView{}, instA, instB,
-			opt.stats, opt.score(opt.stats), opt.seeds, opt.mergeCh, opt.span)
+			opt.stats, opt.score(opt.stats), opt.seeds, opt.mergeCh,
+			opt.span, opt.prog.slot(0))
 		return top.list(mask)
 	}
 	return runJoinSharded(cor, mask, opt, side, shards, instA, instB)
@@ -268,7 +276,7 @@ func runJoinSharded(cor *Corpus, mask config.Mask, opt runOpts, side int8, shard
 					telemetry.L("shards", strconv.Itoa(shards)))
 				view := shardView{side: side, shard: s, shards: shards}
 				heaps[s] = joinShard(cor, mask, opt, view, instA, instB,
-					srs, opt.score(srs), seedsFor[s], nil, ssp)
+					srs, opt.score(srs), seedsFor[s], nil, ssp, opt.prog.slot(s))
 				ssp.End()
 			}
 		}()
@@ -286,12 +294,29 @@ func runJoinSharded(cor *Corpus, mask config.Mask, opt runOpts, side int8, shard
 	}
 	rs.probeShards += int64(shards)
 
+	// Per-config shard-skew summary: work units are popped prefix
+	// events, which partition with the sharded side and so expose any
+	// imbalance the round-robin deal left. Deterministic for a fixed
+	// shard count — the counts are fold-order-independent per shard.
+	works := make([]int64, shards)
+	for s := range shardStats {
+		works[s] = shardStats[s].prefixEvents
+	}
+	sk := skewOf(works)
+	rs.shardWorkMin = sk.WorkMin
+	rs.shardWorkMax = sk.WorkMax
+	rs.shardWorkP50 = sk.WorkP50
+	rs.shardImbalance = sk.ImbalanceRatio
+
 	msp := opt.span.Child("ssjoin.merge")
 	lists := make([][]ScoredPair, shards)
 	merged := 0
 	for s, h := range heaps {
 		lists[s] = h.items
 		merged += len(h.items)
+		if slot := opt.prog.slot(s); slot != nil {
+			slot.mergeOffers.Add(int64(len(h.items)))
+		}
 	}
 	top := mergeTopK(opt.k, lists...)
 	rs.shardMergePairs += int64(merged)
@@ -333,8 +358,10 @@ func mergeTopK(k int, lists ...[]ScoredPair) *topkHeap {
 // and the differential suite rely on.
 func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
 	instA, instB [][]int64, rs *runStats, score scorer,
-	seeds []ScoredPair, mergeCh <-chan []ScoredPair, span *telemetry.TraceSpan) *topkHeap {
+	seeds []ScoredPair, mergeCh <-chan []ScoredPair, span *telemetry.TraceSpan,
+	pc *shardCounters) *topkHeap {
 
+	cur := progCursor{slot: pc}
 	nA, nB := len(cor.recsA), len(cor.recsB)
 	posA := make([]int32, nA)
 	posB := make([]int32, nB)
@@ -384,20 +411,30 @@ func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
 		cap := opt.m.ExtendCap(int(pos), l)
 		if top.full() && cap < top.kthScore() {
 			rs.pruneKills++
+			rs.killsPushCap++
+			// The record's remaining tail dies with the kill: it is never
+			// re-pushed, so those instances are accounted as skipped.
+			rs.probesSkipped += int64(l - int(pos))
 			return // this string can never produce a new top-k pair
 		}
 		events.push(event{cap: cap, side: side, rec: rec})
 	}
 	idxSpan := span.Child("ssjoin.index")
+	var ownedInstances int64
 	for i := int32(0); i < int32(nA); i++ {
 		if view.owns(0, i) {
+			ownedInstances += int64(len(instA[i]))
 			push(0, i)
 		}
 	}
 	for i := int32(0); i < int32(nB); i++ {
 		if view.owns(1, i) {
+			ownedInstances += int64(len(instB[i]))
 			push(1, i)
 		}
+	}
+	if pc != nil {
+		pc.probesTotal.Add(ownedInstances)
 	}
 	idxSpan.SetAttrInt("events_seeded", int64(events.Len()))
 	idxSpan.End()
@@ -425,9 +462,13 @@ func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
 	steps := 0
 	for events.Len() > 0 {
 		if steps++; steps&1023 == 0 {
+			// Progress sampling rides the loop's existing stride
+			// checkpoint: one delta flush per progressStride pops.
+			cur.flush(rs, events.Len(), top.Len())
 			if opt.cancel != nil && opt.cancel.Load() {
 				probeSpan.Event("cancelled")
 				probeSpan.End()
+				cur.flush(rs, events.Len(), top.Len())
 				return top
 			}
 			if mergeCh != nil {
@@ -441,6 +482,17 @@ func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
 		ev := events.items[0]
 		if top.full() && ev.cap < top.kthScore() {
 			rs.pruneKills += int64(events.Len())
+			rs.killsLoopBreak += int64(events.Len())
+			// Every record still in the heap dies here; account its
+			// unpopped tail so done+skipped still converges to the
+			// owned-instance total. One pass over the heap, once per shard.
+			for _, dead := range events.items {
+				if dead.side == 0 {
+					rs.probesSkipped += int64(len(instA[dead.rec]) - int(posA[dead.rec]))
+				} else {
+					rs.probesSkipped += int64(len(instB[dead.rec]) - int(posB[dead.rec]))
+				}
+			}
 			break
 		}
 		events.pop()
@@ -511,6 +563,7 @@ func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
 			oMax = m
 		}
 		if top.full() && opt.m.FromOverlap(oMax, lx, ly) < top.kthScore() {
+			rs.killsFlushBound++
 			continue
 		}
 		rs.flushedPairs++
@@ -519,5 +572,8 @@ func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
 	topkSpan.SetAttrInt("deferred_pairs", rs.deferredPairs)
 	topkSpan.SetAttrInt("flushed_pairs", rs.flushedPairs)
 	topkSpan.End()
+	// Terminal flush: publish the final counters and zero the live heap
+	// gauge (the shard is done; residual dead events are not a live heap).
+	cur.flush(rs, 0, top.Len())
 	return top
 }

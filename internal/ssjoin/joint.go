@@ -73,6 +73,15 @@ type Options struct {
 	// empty watch-list costs nothing on the hot path: provenance is
 	// derived after each config join finishes, never inside it.
 	Provenance *telemetry.Provenance
+	// Progress, when non-nil, receives live per-shard work counters the
+	// probe loops flush every progressStride pops; observers call
+	// Progress.Snapshot from any goroutine for completion/ETA/skew
+	// estimates while the run is in flight. Observe-only: attaching it
+	// never changes an output bit, and its overhead is bounded by the
+	// progress-overhead CI gate (<5%, BENCH_progress_overhead.json).
+	// One Progress tracks one JoinOne/JoinAll call; the q-selection
+	// race's throwaway joins are never tracked.
+	Progress *Progress
 }
 
 func (o Options) withDefaults() Options {
@@ -111,8 +120,24 @@ type Stats struct {
 	SuppressedPairs int64 // pairs skipped because they are in C
 	ProbeShards     int64 // probe shards executed across configs (0 = serial probes)
 	ShardMergePairs int64 // shard-heap pairs offered to the top-k merges
-	QUsed           int   // the q QJoin ran with
-	ReuseActive     bool  // whether the avg-length gate enabled reuse
+	// Prune-tier split of PruneKills: push-cap kills at event push,
+	// event-loop breaks, and flush-bound skips of deferred pairs.
+	PruneKillsPushCap    int64
+	PruneKillsLoopBreak  int64
+	PruneKillsFlushBound int64
+	// SkippedInstances counts token instances pruning wrote off unpopped
+	// (the complement of PrefixEvents in the progress accounting).
+	SkippedInstances int64
+	// Shard-skew summary of the worst-imbalance sharded config: per-shard
+	// probe work (popped prefix events) min/max/p50 and the max/mean
+	// ratio. Zero when every probe ran serially. Deterministic for a
+	// fixed Workers × ProbeWorkers, like ProbeShards above.
+	ShardWorkMin   int64
+	ShardWorkMax   int64
+	ShardWorkP50   int64
+	ShardImbalance float64
+	QUsed          int  // the q QJoin ran with
+	ReuseActive    bool // whether the avg-length gate enabled reuse
 }
 
 // JoinResult holds one top-k list per config, in the tree's breadth-first
@@ -233,6 +258,10 @@ func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) Top
 	recordSuppressionProvenance(opt.Provenance, c)
 	cancel, release := watchCancel(opt.Ctx)
 	defer release()
+	opt.Progress.beginRun(1)
+	defer func() {
+		opt.Progress.finishRun(cancel != nil && cancel.Load())
+	}()
 	rs := &runStats{}
 	csp := opt.Trace.Child("ssjoin.config",
 		telemetry.L("config", cor.Res.String(mask)),
@@ -248,6 +277,7 @@ func JoinOne(cor *Corpus, mask config.Mask, c *blocker.PairSet, opt Options) Top
 		stats:        rs,
 		span:         csp,
 		probeWorkers: opt.ProbeWorkers,
+		prog:         opt.Progress,
 	})
 	csp.End()
 	snk.record(rs, time.Since(start))
@@ -319,12 +349,19 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 
 	cancel, release := watchCancel(opt.Ctx)
 	defer release()
+	opt.Progress.beginRun(len(nodes))
+	defer func() {
+		opt.Progress.finishRun(cancel != nil && cancel.Load())
+	}()
 
 	idxOf := make(map[*config.Node]int, len(nodes))
 	for i, n := range nodes {
 		idxOf[n] = i
 	}
 	lists := make([]TopKList, len(nodes))
+	// Per-node runStats survive the pool so the shard-skew summaries can
+	// be folded deterministically (node order) after the workers join.
+	nodeStats := make([]*runStats, len(nodes))
 	done := make([]atomic.Bool, len(nodes))
 	dbs := make([]*hdb, len(nodes))
 	mergeChs := make([]chan []ScoredPair, len(nodes))
@@ -350,6 +387,7 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 					parentH = dbs[idxOf[n.Parent]]
 				}
 				rs := &runStats{}
+				nodeStats[i] = rs
 				csp := opt.Trace.Child("ssjoin.config",
 					telemetry.L("config", cor.Res.String(n.Mask)),
 					telemetry.L("q", strconv.Itoa(q)))
@@ -363,6 +401,7 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 					stats:        rs,
 					span:         csp,
 					probeWorkers: opt.ProbeWorkers,
+					prog:         opt.Progress,
 				}
 				if n.Parent != nil && !opt.DisableListReuse {
 					if pi := idxOf[n.Parent]; done[pi].Load() {
@@ -400,6 +439,14 @@ func JoinAll(cor *Corpus, c *blocker.PairSet, opt Options) *JoinResult {
 	}
 	close(jobs)
 	wg.Wait()
+	// Skew summaries merge after the pool joins, in node order, keeping
+	// the worst-imbalance config — deterministic however the workers
+	// interleaved.
+	for _, rs := range nodeStats {
+		if rs != nil {
+			res.Stats.mergeSkew(rs)
+		}
+	}
 	res.Lists = lists
 	return res
 }

@@ -25,6 +25,25 @@ type runStats struct {
 	suppressedPairs int64 // pairs skipped because they are in C
 	probeShards     int64 // probe shards executed (0 on the serial path)
 	shardMergePairs int64 // shard-heap pairs offered to the top-k merge
+
+	// Prune-tier split of pruneKills (pruneKills stays the grand total),
+	// plus the progress tracker's probe accounting: probesSkipped counts
+	// token instances written off by a prune (so done+skipped converges
+	// to the owned-instance total), progressSamples counts stride
+	// flushes into the shard's Progress slot.
+	killsPushCap    int64 // tier a: extension cap < k-th score at push
+	killsLoopBreak  int64 // tier b: root cap < k-th score ended the event loop
+	killsFlushBound int64 // tier c: deferred pair's optimistic bound < k-th at flush
+	probesSkipped   int64 // token instances a prune wrote off unpopped
+	progressSamples int64 // progress flushes taken at the stride checkpoint
+
+	// Per-config shard-skew summary, set by runJoinSharded after the
+	// shard pool joins (never set on shard-level blocks, so fold must not
+	// sum it): work units are popped prefix events per shard.
+	shardWorkMin   int64
+	shardWorkMax   int64
+	shardWorkP50   int64
+	shardImbalance float64 // max shard work over mean shard work (0 = serial)
 }
 
 // fold adds one probe shard's counts into the parent run's block. It is
@@ -42,6 +61,11 @@ func (rs *runStats) fold(s *runStats) {
 	rs.suppressedPairs += s.suppressedPairs
 	rs.probeShards += s.probeShards
 	rs.shardMergePairs += s.shardMergePairs
+	rs.killsPushCap += s.killsPushCap
+	rs.killsLoopBreak += s.killsLoopBreak
+	rs.killsFlushBound += s.killsFlushBound
+	rs.probesSkipped += s.probesSkipped
+	rs.progressSamples += s.progressSamples
 }
 
 // sink holds the resolved telemetry instruments for one executor run.
@@ -58,7 +82,21 @@ type sink struct {
 	shardMergePairs        *telemetry.Counter
 	configJoins            *telemetry.Counter
 	joinSeconds            *telemetry.Histogram
-	reg                    *telemetry.Registry
+	// Progress/prune-tier counters and the shard-skew gauges (DESIGN.md
+	// "Join progress & skew observability"). The tier label is the
+	// bounded three-value prune vocabulary; skew gauges report the most
+	// recently finished sharded config's work distribution.
+	killsPushCap    *telemetry.Counter
+	killsLoopBreak  *telemetry.Counter
+	killsFlushBound *telemetry.Counter
+	probesSkipped   *telemetry.Counter
+	progressSamples *telemetry.Counter
+	skewConfigs     *telemetry.Counter
+	skewWorkMin     *telemetry.Gauge
+	skewWorkMax     *telemetry.Gauge
+	skewWorkP50     *telemetry.Gauge
+	skewImbalance   *telemetry.Gauge
+	reg             *telemetry.Registry
 }
 
 func newSink(reg *telemetry.Registry) *sink {
@@ -76,6 +114,16 @@ func newSink(reg *telemetry.Registry) *sink {
 		shardMergePairs: reg.Counter("mc_ssjoin_shard_merge_pairs_total"),
 		configJoins:     reg.Counter("mc_ssjoin_config_joins_total"),
 		joinSeconds:     reg.Histogram("mc_ssjoin_join_seconds"),
+		killsPushCap:    reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "push_cap")),
+		killsLoopBreak:  reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "loop_break")),
+		killsFlushBound: reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "flush_bound")),
+		probesSkipped:   reg.Counter("mc_ssjoin_progress_skipped_instances_total"),
+		progressSamples: reg.Counter("mc_ssjoin_progress_samples_total"),
+		skewConfigs:     reg.Counter("mc_ssjoin_shard_skew_configs_total"),
+		skewWorkMin:     reg.Gauge("mc_ssjoin_shard_skew_work_min"),
+		skewWorkMax:     reg.Gauge("mc_ssjoin_shard_skew_work_max"),
+		skewWorkP50:     reg.Gauge("mc_ssjoin_shard_skew_work_p50"),
+		skewImbalance:   reg.Gauge("mc_ssjoin_shard_skew_imbalance_ratio"),
 		reg:             reg,
 	}
 }
@@ -93,6 +141,18 @@ func (s *sink) record(rs *runStats, dur time.Duration) {
 	s.suppressed.Add(rs.suppressedPairs)
 	s.probeShards.Add(rs.probeShards)
 	s.shardMergePairs.Add(rs.shardMergePairs)
+	s.killsPushCap.Add(rs.killsPushCap)
+	s.killsLoopBreak.Add(rs.killsLoopBreak)
+	s.killsFlushBound.Add(rs.killsFlushBound)
+	s.probesSkipped.Add(rs.probesSkipped)
+	s.progressSamples.Add(rs.progressSamples)
+	if rs.shardImbalance > 0 {
+		s.skewConfigs.Inc()
+		s.skewWorkMin.Set(float64(rs.shardWorkMin))
+		s.skewWorkMax.Set(float64(rs.shardWorkMax))
+		s.skewWorkP50.Set(float64(rs.shardWorkP50))
+		s.skewImbalance.Set(rs.shardImbalance)
+	}
 	s.configJoins.Inc()
 	s.joinSeconds.Observe(dur.Seconds())
 }
@@ -115,4 +175,21 @@ func (st *Stats) add(rs *runStats) {
 	atomic.AddInt64(&st.SuppressedPairs, rs.suppressedPairs)
 	atomic.AddInt64(&st.ProbeShards, rs.probeShards)
 	atomic.AddInt64(&st.ShardMergePairs, rs.shardMergePairs)
+	atomic.AddInt64(&st.PruneKillsPushCap, rs.killsPushCap)
+	atomic.AddInt64(&st.PruneKillsLoopBreak, rs.killsLoopBreak)
+	atomic.AddInt64(&st.PruneKillsFlushBound, rs.killsFlushBound)
+	atomic.AddInt64(&st.SkippedInstances, rs.probesSkipped)
+}
+
+// mergeSkew folds one config's shard-skew summary into the aggregate,
+// keeping the worst-imbalance config's distribution. It is called after
+// the worker pool has joined, in node order, so the winner is
+// deterministic (plain writes — no concurrent adders remain).
+func (st *Stats) mergeSkew(rs *runStats) {
+	if rs.shardImbalance > st.ShardImbalance {
+		st.ShardImbalance = rs.shardImbalance
+		st.ShardWorkMin = rs.shardWorkMin
+		st.ShardWorkMax = rs.shardWorkMax
+		st.ShardWorkP50 = rs.shardWorkP50
+	}
 }

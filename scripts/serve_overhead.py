@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
-"""Enforce the flight-recorder overhead budget on the serve envelope.
+"""Enforce an on/off overhead budget on paired benchmarks.
 
 Reads concatenated `go test -bench` output (file argument, or stdin)
-from several repeated invocations of the paired internal/serve
-benchmarks
+from several repeated invocations of On/Off benchmark pairs — any
+benchmark whose name ends in "On" is paired with its "Off" twin:
 
-    BenchmarkServeRequestRecorderOn / ...RecorderOff
-    BenchmarkServeSessionRequestRecorderOn / ...RecorderOff
+    BenchmarkServeRequestRecorderOn / ...RecorderOff      (serve gate)
+    BenchmarkJoinProgressOn / ...Off                      (progress gate)
 
 and exits 1 if any pair's overhead exceeds the budget (default 5%,
 override with SERVE_OVERHEAD_BOUND_PCT).
@@ -58,9 +58,9 @@ def main():
     stream = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
     samples = parse(stream)
     bound = float(os.environ.get("SERVE_OVERHEAD_BOUND_PCT", "5.0"))
-    pairs = sorted(n[: -len("On")] for n in samples if n.endswith("RecorderOn"))
+    pairs = sorted(n[: -len("On")] for n in samples if n.endswith("On"))
     if not pairs:
-        sys.exit("serve_overhead: no RecorderOn benchmarks in input")
+        sys.exit("serve_overhead: no paired On/Off benchmarks in input")
     failed = False
     for base in pairs:
         on, off = samples.get(base + "On", []), samples.get(base + "Off", [])

@@ -9,10 +9,12 @@
 #      including the 4xx contract on out-of-order operations.
 #   4. Byte-compare the HTTP canonical report against the CLI's — the
 #      transport-determinism acceptance check.
-#   5. Start a 5x-scale join and SIGTERM the server while it is in
-#      flight: the join must still answer 200 (graceful drain), the
-#      process must exit 0, and the ledger must hold one runlog record
-#      per completed session.
+#   5. Start a 5x-scale join and, while it is in flight, read the live
+#      progress surface (JSON snapshot + one SSE `event: progress`
+#      frame, disconnecting mid-stream), then SIGTERM the server: the
+#      join must still answer 200 (graceful drain), the process must
+#      exit 0, and the ledger must hold one runlog record per completed
+#      session.
 #   6. Flight recorder: /debug/flightrecord must answer a parseable dump
 #      while the server is up; the SIGTERM drain auto-dump must carry
 #      the in-flight join's request event (checked by the client while

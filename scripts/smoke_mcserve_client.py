@@ -5,12 +5,14 @@ blocker rule, seed, and join options — asserting every status code and
 response shape along the way, and writes the canonical report for the
 byte-compare against the CLI's.
 
-Phase 2 is the graceful-drain check: it starts a 5x-scale join, sends
-the server SIGTERM while the join is in flight, asserts the drain-time
-flight-record auto-dump carries the join as an in-flight request event
-(preserving a copy as flight_drain.json before the close dump
-overwrites it), and asserts the join still answers 200 before the
-process exits.
+Phase 2 is the graceful-drain check: it starts a 5x-scale join, reads
+the live progress surface while the join is in flight (a JSON snapshot
+and one SSE `event: progress` frame, then disconnects mid-stream to
+prove teardown leaves the join running), sends the server SIGTERM,
+asserts the drain-time flight-record auto-dump carries the join as an
+in-flight request event (preserving a copy as flight_drain.json before
+the close dump overwrites it), and asserts the join still answers 200
+before the process exits.
 """
 
 import csv
@@ -83,6 +85,7 @@ expect("GET", "/v1/sessions/zzz", 404)
 probe = json.loads(expect("POST", "/v1/sessions", 201, b"{}"))["id"]
 expect("POST", f"/v1/sessions/{probe}/join", 409)
 expect("POST", f"/v1/sessions/{probe}/next", 409)
+expect("GET", f"/v1/sessions/{probe}/progress", 409)  # no join yet
 expect("DELETE", f"/v1/sessions/{probe}", 204)
 
 
@@ -90,6 +93,13 @@ def drive_gold(su):
     j = json.loads(expect("POST", f"{su}/join", 200))
     if j["e_size"] <= 0 or j["configs"] <= 0:
         sys.exit(f"join shape: {j}")
+    # The progress surface outlives the join: a snapshot on a finished
+    # join answers 200 with the terminal counters.
+    snap = json.loads(expect("GET", f"{su}/progress", 200))
+    if snap["joining"] or not snap["join"]["done"]:
+        sys.exit(f"finished-join progress shape: {snap}")
+    if snap["join"]["probes_done"] + snap["join"].get("probes_skipped", 0) <= 0:
+        sys.exit(f"finished-join progress counted no probes: {snap}")
     for _ in range(200):
         n = json.loads(expect("POST", f"{su}/next", 200))
         if n["done"]:
@@ -122,6 +132,41 @@ expect("GET", f"{su}", 404)
 # ---- phase 2: SIGTERM with the 5x-scale join in flight ----
 
 result = {}
+
+
+def check_progress_live(su):
+    """Read the progress surface while the 5x-scale join is running.
+
+    First a plain JSON snapshot (joining must be true, the probe plan
+    sized), then an SSE stream: read one live `event: progress` frame
+    and disconnect mid-stream. The server must tear the stream down on
+    client disconnect without disturbing the join — phase 2's drain
+    check right after proves the join is still in flight.
+    """
+    snap = json.loads(expect("GET", f"{su}/progress", 200))
+    if not snap["joining"] or snap["join"]["probes_total"] <= 0:
+        sys.exit(f"mid-join progress snapshot shape: {snap}")
+    r = urllib.request.Request(
+        BASE + su + "/progress", headers={"Accept": "text/event-stream"}
+    )
+    with urllib.request.urlopen(r, timeout=30) as resp:
+        ctype = resp.headers.get("Content-Type", "")
+        if not ctype.startswith("text/event-stream"):
+            sys.exit(f"SSE Content-Type: {ctype!r}")
+        event, frame = None, None
+        for raw in resp:
+            line = raw.decode().rstrip("\n")
+            if line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: "):
+                frame = json.loads(line[len("data: "):])
+            elif line == "" and event is not None:
+                break  # end of first frame; disconnect mid-stream
+        if event != "progress" or frame is None:
+            sys.exit(f"first SSE frame: event={event!r} data={frame}")
+        j = frame["join"]
+        if frame["session"] not in su or j["done"] or j["probes_total"] <= 0:
+            sys.exit(f"SSE progress frame shape: {frame}")
 
 
 def check_drain_dump():
@@ -169,6 +214,9 @@ def drive_drain(su):
     t = threading.Thread(target=do_join)
     t.start()
     time.sleep(0.5)  # let the join get going
+    check_progress_live(su)
+    if not t.is_alive():
+        sys.exit("5x join finished before the SSE check; scale the dataset up")
     os.kill(SRV_PID, signal.SIGTERM)
     check_drain_dump()
     t.join(timeout=120)
