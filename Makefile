@@ -64,6 +64,7 @@ fuzz-smoke:
 	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/blocker -run '^$$' -fuzz FuzzSoundex -fuzztime 10s
 	$(GO) test ./internal/ssjoin -run '^$$' -fuzz FuzzMergeTopK -fuzztime 10s
+	$(GO) test ./internal/ssjoin -run '^$$' -fuzz FuzzPrefixFilter -fuzztime 10s
 
 # Performance regression observability (DESIGN.md "Performance
 # Regression Observability"). perf-baseline reruns the pinned perf-gate

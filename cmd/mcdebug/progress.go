@@ -41,11 +41,13 @@ func progressMeter(w io.Writer, prog *ssjoin.Progress, interval time.Duration) (
 
 // meterLine renders one snapshot as a single meter line.
 func meterLine(s ssjoin.ProgressSnapshot) string {
-	line := fmt.Sprintf("join %5.1f%% | configs %d/%d | probes %s/%s | pruned %s (push %s loop %s flush %s)",
+	line := fmt.Sprintf("join %5.1f%% | configs %d/%d | probes %s/%s | pruned %s (push %s loop %s flush %s len %s pos %s)",
 		s.Fraction*100, s.ConfigsDone, s.ConfigsTotal,
 		countShort(s.ProbesDone+s.ProbesSkipped), countShort(s.ProbesTotal),
-		countShort(s.PruneKillPushCap+s.PruneKillLoopBreak+s.PruneKillFlushBound),
-		countShort(s.PruneKillPushCap), countShort(s.PruneKillLoopBreak), countShort(s.PruneKillFlushBound))
+		countShort(s.PruneKillPushCap+s.PruneKillLoopBreak+s.PruneKillFlushBound+
+			s.PruneKillLengthFilter+s.PruneKillPrefixPos),
+		countShort(s.PruneKillPushCap), countShort(s.PruneKillLoopBreak), countShort(s.PruneKillFlushBound),
+		countShort(s.PruneKillLengthFilter), countShort(s.PruneKillPrefixPos))
 	if s.Skew.Shards > 1 {
 		line += fmt.Sprintf(" | shards %d imb %.2f", s.Skew.Shards, s.Skew.ImbalanceRatio)
 	}

@@ -43,6 +43,13 @@ func (m SetMeasure) String() string {
 	return fmt.Sprintf("SetMeasure(%d)", int(m))
 }
 
+// errUnknownMeasure is the pre-boxed panic value for an out-of-range
+// SetMeasure. FromOverlap and ExtendCap inline into //mc:hotpath probe
+// loops; panicking with a string literal would box it into an interface
+// at every call site, which the hotalloc escape gate counts as a hot
+// path allocation. A package-level any carries no per-call allocation.
+var errUnknownMeasure any = "simfunc: unknown measure"
+
 // MeasureByName returns the SetMeasure for a blocker-expression name.
 func MeasureByName(name string) (SetMeasure, bool) {
 	switch name {
@@ -75,7 +82,7 @@ func (m SetMeasure) FromOverlap(o, lx, ly int) float64 {
 	case Overlap:
 		return fo / float64(min(lx, ly))
 	}
-	panic("simfunc: unknown measure")
+	panic(errUnknownMeasure)
 }
 
 // ExtendCap bounds the score of any pair first discovered when the prefix
@@ -107,7 +114,7 @@ func (m SetMeasure) ExtendCap(i, lx int) float64 {
 	case Overlap:
 		return 1
 	}
-	panic("simfunc: unknown measure")
+	panic(errUnknownMeasure)
 }
 
 // PairBound bounds the final score of a specific candidate pair of which c

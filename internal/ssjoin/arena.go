@@ -1,0 +1,290 @@
+package ssjoin
+
+// Flat-arena buffers for the map-free probe path (DESIGN.md "Flat-arena
+// join kernel"). The QJoin probe loop used to route every candidate
+// through two hash maps — map[int64]*postings posting-list lookups and a
+// map[int64]int32 pair-state table — which dominated the join's cache
+// misses and allocation once the heaps were de-boxed. This file holds
+// the replacement substrate:
+//
+//   - denseInstances: token instances remapped from sparse int64 keys
+//     (tok<<4|occ) to dense int32 ids, once per config, so every
+//     per-instance table downstream is a plain slice indexed by id.
+//   - flatProbe: the pooled per-shard buffer block — posting-list arena
+//     (one contiguous postEntry slab per side plus per-id offset/fill
+//     tables), dense epoch-stamped pair states, event-heap and position
+//     scratch — reused across probes and configs through probePool with
+//     no clearing of the pair-state table (the epoch stamp makes stale
+//     entries invisible).
+//
+// Sizing (ensure/grow) and the arena count pass allocate; they run in
+// the index phase of each probe. The probe loop itself only indexes
+// into these buffers — see join_flat.go for the //mc:hotpath methods.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"matchcatcher/internal/blocker"
+	"matchcatcher/internal/simfunc"
+	"matchcatcher/internal/telemetry"
+)
+
+// denseInstances is one config's token-instance lists remapped to dense
+// int32 ids (0..n-1, first-occurrence order over A's records then B's).
+// The remap is a pure function of (corpus, mask), so every shard of a
+// sharded probe shares one denseInstances read-only.
+type denseInstances struct {
+	a, b [][]int32
+	n    int // distinct instance count
+}
+
+// buildDenseInstances remaps the int64 instance keys produced by
+// tokenizeInstances to dense int32 ids. It runs once per config join, in
+// the index phase: the map lives and dies here so the probe loop that
+// follows never touches one. Ids are assigned in first-occurrence order
+// scanning A's records then B's, each list front to back — deterministic
+// for a fixed corpus and mask.
+func buildDenseInstances(instA, instB [][]int64) denseInstances {
+	total := 0
+	for _, l := range instA {
+		total += len(l)
+	}
+	for _, l := range instB {
+		total += len(l)
+	}
+	ids := make(map[int64]int32, total)
+	backing := make([]int32, total)
+	remap := func(lists [][]int64) [][]int32 {
+		out := make([][]int32, len(lists))
+		for i, l := range lists {
+			dst := backing[:len(l):len(l)]
+			backing = backing[len(l):]
+			for j, key := range l {
+				id, ok := ids[key]
+				if !ok {
+					id = int32(len(ids))
+					ids[key] = id
+				}
+				dst[j] = id
+			}
+			out[i] = dst
+		}
+		return out
+	}
+	a := remap(instA)
+	b := remap(instB)
+	return denseInstances{a: a, b: b, n: len(ids)}
+}
+
+// postEntry is one posting-list entry: a record plus the prefix position
+// at which it popped the instance. The position feeds the positional
+// prefix filter — token instances are globally rank-sorted in every
+// record, so a pair first meeting at positions (i, j) shares at most
+// 1 + min(lxRem, lyRem) instances (see flatProbe.touch).
+type postEntry struct {
+	rec, pos int32
+}
+
+// Candidate pair-state sentinels shared by both probe paths: non-negative
+// values count common prefix instances; the sentinels mark pairs already
+// scored, present in C, or killed by a strict pair filter. Untyped so
+// they fit both the legacy map's int32 states and the arena's packed
+// int8 states.
+const (
+	pairScored     = -1
+	pairSuppressed = -2
+	pairKilled     = -3
+)
+
+// Strict pair-filter tiers (Progress / Stats vocabulary).
+const (
+	tierLengthFilter int8 = iota
+	tierPrefixPos
+)
+
+// filterKillHook, when non-nil, observes every pair killed by a strict
+// pair filter. Test instrumentation only (the filter property tests
+// replay killed pairs against the brute-force oracle); production runs
+// pay one nil check per kill.
+var filterKillHook func(a, b int32, tier int8)
+
+// Probe-path selection. probeAuto picks the flat arena kernel unless the
+// config's full pair space exceeds denseStateLimit (the dense pair-state
+// table is the one structure that scales with |A|×|B| rather than with
+// work done, so huge corpora keep the paper's flat-memory map path).
+// The force values are the temporary build seam the differential harness
+// flips to prove the two kernels compute the identical pure function.
+const (
+	probeAuto = iota
+	probeForceFlat
+	probeForceLegacy
+)
+
+// probePathOverride is written only by tests, between runs.
+var probePathOverride = probeAuto
+
+// denseStateLimit bounds the dense pair-state table: a config whose full
+// pair space (sharded-side length × other-side length) exceeds this many
+// pairs probes through the legacy map kernel instead. At one packed byte
+// per pair, 32Mi pairs keep the table at 32 MiB for the whole config
+// regardless of shard count (the per-shard tables tile the pair space) —
+// small enough to stay largely cache-resident, which is what makes the
+// flat path win. The perf-gate M2 workload (25M pairs at scale 0.1)
+// fits; the paper's full-scale corpora (billions of pairs) stay on the
+// flat-memory map kernel. Var, not const: the differential tests shrink
+// it to drive both kernels over the same corpora.
+var denseStateLimit = 32 << 20
+
+// flatProbeMaxQ bounds q on the flat path: packed states count common
+// prefix instances in four bits (three sentinels plus counts up to 12),
+// so runs deferring more than 12 common instances per pair fall back to
+// the map kernel (q beyond the auto-selection range is a hand-tuned
+// corner, not the hot path).
+const flatProbeMaxQ = 12
+
+// useFlatProbe decides the kernel for one config join.
+func useFlatProbe(sideLen, otherLen, q int) bool {
+	switch probePathOverride {
+	case probeForceFlat:
+		return true
+	case probeForceLegacy:
+		return false
+	}
+	if q > flatProbeMaxQ {
+		return false
+	}
+	if sideLen == 0 || otherLen == 0 {
+		return true
+	}
+	return sideLen <= denseStateLimit/otherLen
+}
+
+// flatProbe is one shard's map-free probe state: every lookup the event
+// loop performs is a slice index. The struct doubles as the pooled
+// scratch block — ensure() grows the buffers to the probe's sizes and
+// resets per-probe state, and release() drops the per-probe references
+// (corpus lists, scorer, heaps) while keeping the buffers and the pair
+// epoch for the next probe.
+type flatProbe struct {
+	// Per-probe wiring (cleared on release).
+	q       int
+	m       simfunc.SetMeasure
+	c       *blocker.PairSet
+	score   scorer
+	rs      *runStats
+	top     *topkHeap
+	cur     progCursor
+	cancel  *atomic.Bool
+	mergeCh <-chan []ScoredPair
+	span    *telemetry.TraceSpan
+	idsA    [][]int32
+	idsB    [][]int32
+
+	// Shard geometry: the sharded side's records are dealt round-robin
+	// (rec mod div == shard owns it); rowOff maps an owned sharded-side
+	// record to its dense pair-state row base (local index × otherLen).
+	side     int8
+	shard    int32
+	div      int32
+	otherLen int32
+
+	// Pooled buffers (kept across probes). touched records the pair-state
+	// index of every pair that reached a positive common-instance count,
+	// so the exactness flush can visit candidates directly instead of
+	// scanning the whole pair space when few pairs were touched (sorted
+	// ascending, the list reproduces the dense scan order exactly).
+	posA, posB   []int32
+	rowOff       []int32
+	touched      []int32
+	events       eventHeap
+	offA, fillA  []int32
+	offB, fillB  []int32
+	slabA, slabB []postEntry
+
+	// Dense pair state, one packed byte per pair: the high nibble is the
+	// epoch stamp, the low nibble a signed state (common-instance count
+	// or a pair* sentinel, offset-encoded). One byte per pair keeps the
+	// whole table cache-resident for the corpora the flat path accepts —
+	// the probe loop's one random load per touch is the kernel's
+	// bottleneck. An entry is meaningful only while its stamp equals
+	// epoch, so reuse across probes never clears the table — resetPairs
+	// bumps the epoch and every stale entry reads as unseen. A nibble of
+	// epoch means a real wraparound every 15 probes; the wrap path
+	// (clear + restart at 1) is therefore exercised constantly, not just
+	// in the white-box test.
+	pairs []uint8
+	epoch uint8
+}
+
+// probePool recycles flatProbe buffer blocks across probes and configs
+// (the zero-alloc hot-loop discipline of the ssdeep-style kernels):
+// steady-state joins of similar size never reallocate position arrays,
+// arena tables, slabs, or pair-state tables.
+var probePool = sync.Pool{New: func() any { return &flatProbe{} }}
+
+func getFlatProbe() *flatProbe  { return probePool.Get().(*flatProbe) }
+func putFlatProbe(p *flatProbe) { p.release(); probePool.Put(p) }
+
+// release drops everything probe-specific so the pool never pins a
+// corpus, scorer, or result heap. Buffers and the pair epoch survive.
+func (p *flatProbe) release() {
+	p.c = nil
+	p.score = nil
+	p.rs = nil
+	p.top = nil
+	p.cur = progCursor{}
+	p.cancel = nil
+	p.mergeCh = nil
+	p.span = nil
+	p.idsA = nil
+	p.idsB = nil
+}
+
+// growInt32 returns s resized to n, reusing capacity when it suffices.
+// Contents are unspecified — callers clear or overwrite what they read.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growEntries(s []postEntry, n int) []postEntry {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]postEntry, n)
+}
+
+// resetPairs prepares the dense pair-state table for a probe over
+// pairSpace pairs. The normal path is O(1): bump the epoch so every
+// stale entry reads as unseen. Growth and epoch wraparound are the two
+// slow paths that must re-zero the table — the classic dense-reset bug
+// is forgetting one of them (TestEpochReset pins both). A fresh table is
+// all zeros, which no live entry ever aliases because the epoch restarts
+// at 1, never 0.
+func (p *flatProbe) resetPairs(pairSpace int) {
+	if cap(p.pairs) < pairSpace {
+		p.pairs = make([]uint8, pairSpace)
+		p.epoch = 1
+		return
+	}
+	p.pairs = p.pairs[:pairSpace]
+	p.epoch++
+	if p.epoch == 16 { // nibble wraparound: stale stamps would alias epoch 0
+		clear(p.pairs[:cap(p.pairs)])
+		p.epoch = 1
+	}
+}
+
+// pairPack encodes an epoch stamp and a signed state into one table
+// byte: epoch in the high nibble, state offset by pairKilled (the most
+// negative sentinel) in the low nibble, so states span -3..12. A zero
+// byte decodes to epoch 0, which is never current — fresh tables need no
+// initialization beyond the runtime's zeroing. pairState decodes the
+// state half (callers compare the stamp half against the current epoch
+// themselves).
+func pairPack(ep uint8, st int8) uint8 { return ep<<4 | uint8(st-pairKilled) }
+func pairState(v uint8) int8           { return int8(v&15) + pairKilled }
+func pairEpoch(v uint8) uint8          { return v >> 4 }

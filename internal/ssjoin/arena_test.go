@@ -1,0 +1,551 @@
+package ssjoin
+
+// The flat-arena kernel's differential and white-box harness. The
+// kernel seam (probePathOverride) is the load-bearing test surface: the
+// flat-arena and legacy map kernels must compute the identical pure
+// function — same top-k bytes AND same runStats counter stream — so the
+// harness byte-compares both across kernel × pool-state × worker grids,
+// with BruteForce as the filter-free third oracle (the legacy kernel
+// carries the same strict pair filters, so only brute force proves the
+// filters themselves sound end to end). The white-box half pins the
+// dense pair-state machinery directly: epoch-stamped reset (growth,
+// bump, nibble wraparound), poisoned pool reuse, and the zero-alloc
+// probe path.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"matchcatcher/internal/simfunc"
+)
+
+// forceProbePath pins the kernel seam for one test and restores it on
+// cleanup. Tests in this package run sequentially, so the package-level
+// override is safe to flip here.
+func forceProbePath(t *testing.T, mode int) {
+	t.Helper()
+	prev := probePathOverride
+	probePathOverride = mode
+	t.Cleanup(func() { probePathOverride = prev })
+}
+
+// TestKernelSeamDifferential is the core arena-axis oracle: over a
+// seeds × configs × q × k grid, the flat-arena kernel, the legacy map
+// kernel, and BruteForce must return bit-identical lists. Brute force
+// is the essential third leg — both kernels implement the strict pair
+// filters, so only a filter-free oracle can prove the filters never
+// drop a retained pair.
+func TestKernelSeamDifferential(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		cor, res, c := randomCorpus(t, rng, 35, 30)
+		for _, mask := range res.Configs() {
+			for _, q := range []int{1, 2, 3} {
+				for _, k := range []int{5, 20} {
+					label := fmt.Sprintf("seed=%d mask=%b q=%d k=%d", seed, mask, q, k)
+					want := BruteForce(cor, mask, c, k, simfunc.Jaccard)
+					forceProbePath(t, probeForceLegacy)
+					legacy := JoinOne(cor, mask, c, Options{K: k, Q: q})
+					forceProbePath(t, probeForceFlat)
+					flat := JoinOne(cor, mask, c, Options{K: k, Q: q})
+					requireIdentical(t, label+" legacy vs brute", legacy, want)
+					requireIdentical(t, label+" flat vs legacy", flat, legacy)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSeamStatsIdentical extends the differential to the counter
+// stream: canonical reports embed the ssjoin.Stats counters, so the two
+// kernels must agree on every count, not just on the lists. Checked
+// end to end through JoinAll across the Workers × ProbeWorkers grid
+// (sharded probes fold per-shard stats; the kernels must agree shard by
+// shard for the folded totals to match).
+func TestKernelSeamStatsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cor, _, c := randomCorpus(t, rng, 32, 28)
+	run := func(mode, w, pw int) ([]TopKList, Stats) {
+		forceProbePath(t, mode)
+		res := JoinAll(cor, c, Options{K: 12, Q: 2, Workers: w, ProbeWorkers: pw})
+		return res.Lists, res.Stats
+	}
+	for _, w := range []int{1, 3} {
+		for _, pw := range []int{1, 4} {
+			label := fmt.Sprintf("workers=%d probeworkers=%d", w, pw)
+			legacyLists, legacyStats := run(probeForceLegacy, w, pw)
+			flatLists, flatStats := run(probeForceFlat, w, pw)
+			requireIdenticalLists(t, label, flatLists, legacyLists)
+			if !reflect.DeepEqual(flatStats, legacyStats) {
+				t.Errorf("%s: counter streams diverge across the kernel seam:\nflat:   %+v\nlegacy: %+v",
+					label, flatStats, legacyStats)
+			}
+		}
+	}
+}
+
+// TestPoolReusePoisonInvisible proves pooled probe reuse cannot leak
+// state between probes: the pool is pre-seeded with probes whose
+// buffers hold adversarial garbage — pair-state bytes stamped at every
+// nibble epoch (including the probe's next epoch), stale slabs, stale
+// heaps — and the join must still match the cold-pool reference bit for
+// bit. This is the "pool warm vs cold" axis in its strongest form.
+func TestPoolReusePoisonInvisible(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	cor, res, c := randomCorpus(t, rng, 30, 30)
+	mask := res.Root.Mask
+	forceProbePath(t, probeForceFlat)
+	ref := JoinOne(cor, mask, c, Options{K: 10, Q: 2})
+
+	for trial := 0; trial < 4; trial++ {
+		for i := 0; i < 3; i++ {
+			p := &flatProbe{}
+			p.resetPairs(64 * 1024)
+			p.epoch = uint8(1 + rng.Intn(15))
+			// Stamps stay <= the probe's epoch: that is the table's
+			// invariant (a stamp equal to a FUTURE epoch is unreachable —
+			// the bump strictly outruns every written stamp and the
+			// wraparound clears), and it is exactly what the next wire()'s
+			// epoch bump must render invisible.
+			for j := range p.pairs {
+				p.pairs[j] = pairPack(uint8(rng.Intn(int(p.epoch)+1)), int8(rng.Intn(16)+pairKilled))
+			}
+			p.events.items = append(p.events.items, event{cap: 9, side: 0, rec: 7})
+			p.slabA = append(p.slabA, postEntry{rec: 3, pos: 3})
+			p.touched = append(p.touched, 11, 7, 5)
+			p.posA = append(p.posA, 42)
+			probePool.Put(p)
+		}
+		got := JoinOne(cor, mask, c, Options{K: 10, Q: 2})
+		requireIdentical(t, fmt.Sprintf("poisoned pool trial %d", trial), got, ref)
+	}
+}
+
+// TestRowPermutationMetamorphic: permuting the rows of both tables
+// permutes record ids but cannot change the retained score multiset
+// (the top-k boundary may swap which equal-scoring pairs it keeps — ids
+// break those ties — so the pair sets are compared only above the
+// boundary, via the score multiset invariant plus the permutation map
+// on strictly-retained pairs).
+func TestRowPermutationMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	words := []string{"ka", "ri", "ton", "mel", "sor", "vin", "da", "lo"}
+	row := func() []string {
+		n := 1 + rng.Intn(5)
+		var s string
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += " "
+			}
+			s += words[rng.Intn(len(words))]
+		}
+		return []string{s}
+	}
+	var rowsA, rowsB [][]string
+	for i := 0; i < 25; i++ {
+		rowsA = append(rowsA, row())
+	}
+	for i := 0; i < 25; i++ {
+		rowsB = append(rowsB, row())
+	}
+	cor, res := corpusFor(t, []string{"v"}, rowsA, rowsB)
+	mask := res.Root.Mask
+	forceProbePath(t, probeForceFlat)
+	const k = 10
+	ref := JoinOne(cor, mask, nil, Options{K: k, Q: 2})
+
+	for trial := 0; trial < 3; trial++ {
+		permA := rng.Perm(len(rowsA))
+		permB := rng.Perm(len(rowsB))
+		pRowsA := make([][]string, len(rowsA))
+		pRowsB := make([][]string, len(rowsB))
+		for i, j := range permA {
+			pRowsA[j] = rowsA[i]
+		}
+		for i, j := range permB {
+			pRowsB[j] = rowsB[i]
+		}
+		pCor, pRes := corpusFor(t, []string{"v"}, pRowsA, pRowsB)
+		got := JoinOne(pCor, pRes.Root.Mask, nil, Options{K: k, Q: 2})
+
+		refScores, gotScores := scoresOf(ref), scoresOf(got)
+		slices.Sort(refScores)
+		slices.Sort(gotScores)
+		if !reflect.DeepEqual(refScores, gotScores) {
+			t.Fatalf("trial %d: score multiset changed under row permutation:\n%v\n%v",
+				trial, refScores, gotScores)
+		}
+		// Strictly above the boundary the retained pairs are unique, so
+		// they must map exactly through the permutation.
+		boundary := ref.Pairs[len(ref.Pairs)-1].Score
+		want := map[int64]bool{}
+		for _, p := range ref.Pairs {
+			if p.Score > boundary {
+				want[pairKey(int32(permA[p.A]), int32(permB[p.B]))] = true
+			}
+		}
+		for _, p := range got.Pairs {
+			if p.Score > boundary && !want[pairKey(p.A, p.B)] {
+				t.Fatalf("trial %d: pair (%d,%d) above the tie boundary has no preimage", trial, p.A, p.B)
+			}
+		}
+	}
+}
+
+// TestFilterKillsStrictlyBelowKth is the filter property test: every
+// pair killed by a strict pair filter must (a) score strictly below the
+// final k-th score — the kill compared against a running k-th bound
+// that only rises, so a violation here means a filter was not strict —
+// and (b) never appear in the final list. Scores come from the
+// brute-force oracle over the full pair space.
+func TestFilterKillsStrictlyBelowKth(t *testing.T) {
+	type kill struct {
+		a, b int32
+		tier int8
+	}
+	var kills []kill
+	filterKillHook = func(a, b int32, tier int8) {
+		kills = append(kills, kill{a, b, tier})
+	}
+	t.Cleanup(func() { filterKillHook = nil })
+	forceProbePath(t, probeForceFlat)
+
+	tierTotals := map[int8]int{}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(600 + seed))
+		cor, res, c := randomCorpus(t, rng, 35, 35)
+		for _, mask := range res.Configs() {
+			for _, k := range []int{3, 8} {
+				kills = kills[:0]
+				got := JoinOne(cor, mask, c, Options{K: k, Q: 2})
+				if len(got.Pairs) < k || len(kills) == 0 {
+					continue
+				}
+				kth := got.Pairs[k-1].Score
+				all := BruteForce(cor, mask, c, 1<<20, simfunc.Jaccard)
+				scores := make(map[int64]float64, len(all.Pairs))
+				for _, p := range all.Pairs {
+					scores[pairKey(p.A, p.B)] = p.Score
+				}
+				retained := make(map[int64]bool, len(got.Pairs))
+				for _, p := range got.Pairs {
+					retained[pairKey(p.A, p.B)] = true
+				}
+				for _, kl := range kills {
+					tierTotals[kl.tier]++
+					if retained[pairKey(kl.a, kl.b)] {
+						t.Fatalf("seed=%d mask=%b k=%d: killed pair (%d,%d) retained",
+							seed, mask, k, kl.a, kl.b)
+					}
+					// Absent from the brute list means the exact score is 0.
+					if s := scores[pairKey(kl.a, kl.b)]; s >= kth {
+						t.Fatalf("seed=%d mask=%b k=%d tier=%d: killed pair (%d,%d) scores %v >= kth %v",
+							seed, mask, k, kl.tier, kl.a, kl.b, s, kth)
+					}
+				}
+			}
+		}
+	}
+	if tierTotals[tierLengthFilter] == 0 {
+		t.Error("length filter never fired across the property grid")
+	}
+	if tierTotals[tierPrefixPos] == 0 {
+		t.Error("positional prefix filter never fired across the property grid")
+	}
+}
+
+// TestPrefixFilterKillsCraftedPair pins the positional filter on a
+// constructed corpus where the only shared token of a long pair sits at
+// the tail of both prefix orders: the pair must be killed by the
+// prefix_pos tier specifically (the length filter cannot — the records
+// have equal lengths, so the length bound is 1.0).
+func TestPrefixFilterKillsCraftedPair(t *testing.T) {
+	var tiers []int8
+	filterKillHook = func(a, b int32, tier int8) { tiers = append(tiers, tier) }
+	t.Cleanup(func() { filterKillHook = nil })
+	forceProbePath(t, probeForceFlat)
+
+	// Pair (A0, B0) scores 2/4 = 0.5 and fills the k=1 list. A1 and B1
+	// (12 tokens each) share cc plus the f-fillers; their rank orders put
+	// six unique tokens (rarer than cc) first, then cc at position 6 —
+	// cap exactly (12-6)/12 = 0.5, which survives the strict push-cap
+	// prune as a tie — then the f-fillers (more frequent, so
+	// prefix-later; their extensions cap below 0.5 and die at push). At
+	// the touch, the length bound is FromOverlap(12,12,12) = 1.0 (equal
+	// lengths — the length filter cannot fire), but the positional bound
+	// is FromOverlap(1+min(5,5),12,12) = 6/18 < 0.5: only the prefix_pos
+	// tier can kill it.
+	cor, res := corpusFor(t, []string{"v"},
+		[][]string{
+			{"m n"},
+			{"g1 g2 g3 g4 g5 g6 cc f1 f2 f3 f4 f5"},
+			{"f1 f2 f3 f4 f5"},
+			{"f1 f2 f3 f4 f5"},
+		},
+		[][]string{
+			{"o p m n"},
+			{"h1 h2 h3 h4 h5 h6 cc f1 f2 f3 f4 f5"},
+		})
+	got := JoinOne(cor, res.Root.Mask, nil, Options{K: 1, Q: 1})
+	if len(got.Pairs) != 1 || got.Pairs[0].A != 0 || got.Pairs[0].B != 0 || got.Pairs[0].Score != 0.5 {
+		t.Fatalf("expected (A0,B0)=0.5 to win: %+v", got.Pairs)
+	}
+	if !slices.Contains(tiers, tierPrefixPos) {
+		t.Errorf("positional prefix filter did not fire; tiers seen: %v", tiers)
+	}
+	want := BruteForce(cor, res.Root.Mask, nil, 1, simfunc.Jaccard)
+	requireIdentical(t, "crafted corpus vs brute force", got, want)
+}
+
+// TestEpochReset white-boxes resetPairs across its three paths: growth
+// (fresh zeroed table, epoch restarts at 1), the O(1) bump (stale
+// entries become invisible without a clear), and the nibble wraparound
+// (the table must be cleared or epoch-1 garbage would alias as live).
+func TestEpochReset(t *testing.T) {
+	p := &flatProbe{}
+	p.resetPairs(100)
+	if p.epoch != 1 || len(p.pairs) != 100 {
+		t.Fatalf("growth path: epoch=%d len=%d", p.epoch, len(p.pairs))
+	}
+	p.pairs[7] = pairPack(p.epoch, 3)
+	p.pairs[8] = pairPack(p.epoch, pairSuppressed)
+
+	p.resetPairs(100)
+	if p.epoch != 2 {
+		t.Fatalf("bump path: epoch=%d", p.epoch)
+	}
+	for _, i := range []int{7, 8} {
+		if pairEpoch(p.pairs[i]) == p.epoch {
+			t.Fatalf("stale entry %d reads as live after epoch bump", i)
+		}
+	}
+	p.pairs[7] = pairPack(p.epoch, 5)
+	if pairState(p.pairs[7]) != 5 || pairEpoch(p.pairs[7]) != 2 {
+		t.Fatalf("roundtrip: state=%d epoch=%d", pairState(p.pairs[7]), pairEpoch(p.pairs[7]))
+	}
+
+	// Drive to the wraparound: epochs 3..15, then the 16th reset wraps.
+	for p.epoch < 15 {
+		p.pairs[9] = pairPack(p.epoch, 1) // garbage at every epoch
+		p.resetPairs(100)
+	}
+	if p.epoch != 15 {
+		t.Fatalf("pre-wrap epoch=%d", p.epoch)
+	}
+	p.pairs[3] = pairPack(15, 7)
+	p.resetPairs(100)
+	if p.epoch != 1 {
+		t.Fatalf("wrap path: epoch=%d, want 1", p.epoch)
+	}
+	for i, v := range p.pairs {
+		if v != 0 {
+			t.Fatalf("wrap path left pairs[%d]=%#x uncleared", i, v)
+		}
+	}
+
+	// Shrink+regrow within capacity must keep the epoch discipline.
+	p.pairs[0] = pairPack(p.epoch, 2)
+	p.resetPairs(10)
+	if len(p.pairs) != 10 || pairEpoch(p.pairs[0]) == p.epoch {
+		t.Fatalf("shrink: len=%d epoch0=%d cur=%d", len(p.pairs), pairEpoch(p.pairs[0]), p.epoch)
+	}
+	p.resetPairs(4096)
+	if len(p.pairs) != 4096 || p.epoch != 1 {
+		t.Fatalf("regrow: len=%d epoch=%d", len(p.pairs), p.epoch)
+	}
+}
+
+// TestEpochWraparoundEndToEnd runs enough joins through one process to
+// cross the nibble wraparound many times (every 15 probes), comparing
+// each run against the first: any stale-state leak across the wrap
+// shows up as a flipped bit. The pool is also pre-seeded with a probe
+// parked one reset away from wrapping.
+func TestEpochWraparoundEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	cor, res, c := randomCorpus(t, rng, 25, 25)
+	mask := res.Root.Mask
+	forceProbePath(t, probeForceFlat)
+
+	parked := &flatProbe{}
+	parked.resetPairs(25 * 25)
+	parked.epoch = 15
+	for j := range parked.pairs {
+		parked.pairs[j] = pairPack(15, int8(j%16+pairKilled))
+	}
+	probePool.Put(parked)
+
+	ref := JoinOne(cor, mask, c, Options{K: 8, Q: 2})
+	for i := 0; i < 40; i++ {
+		got := JoinOne(cor, mask, c, Options{K: 8, Q: 2})
+		requireIdentical(t, fmt.Sprintf("run %d", i), got, ref)
+	}
+}
+
+// TestAutoKernelSelection pins useFlatProbe's auto policy: the dense
+// path only when the pair space fits denseStateLimit and q fits the
+// packed state nibble — and the choice must be invisible in the output
+// (auto vs both forced kernels agree on a corpus near the boundary).
+func TestAutoKernelSelection(t *testing.T) {
+	if !useFlatProbe(100, 100, 2) {
+		t.Error("small corpus should take the flat path")
+	}
+	if useFlatProbe(100, 100, flatProbeMaxQ+1) {
+		t.Error("q beyond the packed-state range must fall back to the map kernel")
+	}
+	prev := denseStateLimit
+	t.Cleanup(func() { denseStateLimit = prev })
+	denseStateLimit = 64
+	if useFlatProbe(9, 9, 2) { // 81 pairs > 64
+		t.Error("pair space beyond denseStateLimit must fall back")
+	}
+	if !useFlatProbe(8, 8, 2) {
+		t.Error("pair space within denseStateLimit should take the flat path")
+	}
+
+	rng := rand.New(rand.NewSource(800))
+	cor, res, cset := randomCorpus(t, rng, 20, 20)
+	mask := res.Root.Mask
+	forceProbePath(t, probeAuto)
+	auto := JoinOne(cor, mask, cset, Options{K: 10, Q: 2}) // 400 pairs: legacy under the shrunken limit
+	denseStateLimit = prev
+	auto2 := JoinOne(cor, mask, cset, Options{K: 10, Q: 2}) // flat under the real limit
+	requireIdentical(t, "auto across the limit boundary", auto2, auto)
+}
+
+// TestFlatProbePathZeroAllocs pins the tentpole's allocation contract
+// dynamically: with warm pooled buffers, the whole probe path —
+// wire, absorb, seed, probe, finish — allocates nothing. (The static
+// half is mclint's hotalloc/-escapes gate; testing.AllocsPerRun catches
+// what escape analysis can't, e.g. amortized append growth would show
+// up here as a fractional count.)
+func TestFlatProbePathZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	cor, res, c := randomCorpus(t, rng, 40, 40)
+	mask := res.Root.Mask
+	instA, instB := tokenizeInstances(cor, mask, 1)
+	ids := buildDenseInstances(instA, instB)
+
+	rs := &runStats{}
+	opt := runOpts{k: 10, q: 2, m: simfunc.Jaccard, c: c}
+	score := makeScorer(cor, mask, nil, nil, simfunc.Jaccard)(rs)
+	top := newTopkHeap(opt.k)
+	p := &flatProbe{}
+	runProbe := func() {
+		top.items = top.items[:0]
+		p.wire(opt, shardView{}, ids, rs, score, top, nil, nil, nil)
+		p.absorb(nil)
+		p.seed()
+		p.probe()
+		p.finish()
+	}
+	runProbe() // warm the buffers (growth is index-phase, allowed to allocate)
+	if allocs := testing.AllocsPerRun(20, runProbe); allocs != 0 {
+		t.Errorf("warm probe path allocated %.2f times per run, want 0", allocs)
+	}
+	if top.Len() == 0 {
+		t.Fatal("probe produced no pairs — the zero-alloc run measured nothing")
+	}
+}
+
+// FuzzPrefixFilter feeds arbitrary corpora through the flat kernel
+// (filters live) against BruteForce (no filters): any input where the
+// length or positional prefix filter kills a pair that belonged in the
+// top-k — tie boundaries, equal scores, degenerate records — shows up
+// as a list mismatch. Registered in the Makefile fuzz-smoke target.
+func FuzzPrefixFilter(f *testing.F) {
+	f.Add(uint8(1), uint8(2), []byte("abc\ndef g\nhij"))
+	f.Add(uint8(3), uint8(1), []byte("a b c d e f g h i\nz\na b\nq r s"))
+	f.Add(uint8(2), uint8(3), []byte("aa bb\naa bb\naa bb\ncc"))
+	f.Add(uint8(1), uint8(1), []byte("\n\n\n"))
+	f.Fuzz(func(t *testing.T, kRaw, qRaw uint8, data []byte) {
+		k := int(kRaw%8) + 1
+		q := int(qRaw%4) + 1
+		rows := decodeFuzzRows(data)
+		if len(rows) < 2 {
+			return
+		}
+		half := len(rows) / 2
+		cor, res := corpusFor(t, []string{"v"}, rows[:half], rows[half:])
+		mask := res.Root.Mask
+		want := BruteForce(cor, mask, nil, k, simfunc.Jaccard)
+		forceProbePath(t, probeForceFlat)
+		flat := JoinOne(cor, mask, nil, Options{K: k, Q: q})
+		forceProbePath(t, probeForceLegacy)
+		legacy := JoinOne(cor, mask, nil, Options{K: k, Q: q})
+		requireIdentical(t, fmt.Sprintf("flat vs brute k=%d q=%d", k, q), flat, want)
+		requireIdentical(t, fmt.Sprintf("flat vs legacy k=%d q=%d", k, q), flat, legacy)
+	})
+}
+
+// decodeFuzzRows turns raw fuzz bytes into single-attribute rows:
+// newline-separated token phrases over a compressed alphabet (tokens
+// collide constantly, which is where the filters and tie-breaks live).
+func decodeFuzzRows(data []byte) [][]string {
+	var rows [][]string
+	var cur []byte
+	flush := func() {
+		if len(rows) < 16 {
+			rows = append(rows, []string{string(cur)})
+		}
+		cur = cur[:0]
+	}
+	for _, b := range data {
+		switch {
+		case b == '\n':
+			flush()
+		case b == ' ':
+			cur = append(cur, ' ')
+		default:
+			cur = append(cur, 'a'+b%7)
+		}
+		if len(cur) > 64 {
+			flush()
+		}
+	}
+	flush()
+	return rows
+}
+
+// sink guards against dead-code elimination in benchmarks below.
+var sinkList TopKList
+
+// BenchmarkJoinOneKernel compares the two kernels on the same corpus
+// (run with -bench to see the arena speedup on a mid-size join).
+func BenchmarkJoinOneKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	words := []string{"ka", "ri", "ton", "mel", "sor", "vin", "da", "lo", "pex", "tra"}
+	row := func() []string {
+		n := 2 + rng.Intn(6)
+		var s string
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += " "
+			}
+			s += words[rng.Intn(len(words))]
+		}
+		return []string{s}
+	}
+	var rowsA, rowsB [][]string
+	for i := 0; i < 400; i++ {
+		rowsA = append(rowsA, row())
+		rowsB = append(rowsB, row())
+	}
+	cor, res := corpusFor(&testing.T{}, []string{"v"}, rowsA, rowsB)
+	for _, bench := range []struct {
+		name string
+		mode int
+	}{{"flat", probeForceFlat}, {"legacy", probeForceLegacy}} {
+		b.Run(bench.name, func(b *testing.B) {
+			prev := probePathOverride
+			probePathOverride = bench.mode
+			defer func() { probePathOverride = prev }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkList = JoinOne(cor, res.Root.Mask, nil, Options{K: 50, Q: 2})
+			}
+		})
+	}
+}

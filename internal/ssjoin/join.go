@@ -2,7 +2,6 @@ package ssjoin
 
 import (
 	"math/bits"
-	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -65,19 +64,6 @@ type runOpts struct {
 	// The tracker is observe-only — it never feeds back into the join,
 	// so attaching it cannot change any output bit.
 	prog *Progress
-}
-
-// Candidate-pair states are packed into a map[int64]int32 to keep the
-// join's memory footprint flat on workloads that touch tens of millions of
-// pairs (the paper's W-A dataset): non-negative values count common prefix
-// instances; the sentinels mark pairs already scored or present in C.
-const (
-	pairScored     int32 = -1
-	pairSuppressed int32 = -2
-)
-
-type postings struct {
-	a, b []int32
 }
 
 // instKey packs a token rank and a duplicate-occurrence number.
@@ -216,15 +202,23 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 	tokSpan.SetAttrInt("records", int64(nA+nB))
 	tokSpan.End()
 
+	// Dense instance ids are built once per config (the only map work
+	// left in the join) and shared read-only by every shard; both probe
+	// kernels consume them. Kernel choice is a pure function of the
+	// corpus shape (plus the test seam), identical across shards, so the
+	// output and the counter stream never depend on it.
+	ids := buildDenseInstances(instA, instB)
+	useFlat := useFlatProbe(sideLen, nA+nB-sideLen, opt.q)
+
 	opt.prog.configStarted()
 	defer opt.prog.configDone()
 	if shards <= 1 {
-		top := joinShard(cor, mask, opt, shardView{}, instA, instB,
+		top := joinShard(opt, shardView{}, ids, useFlat,
 			opt.stats, opt.score(opt.stats), opt.seeds, opt.mergeCh,
 			opt.span, opt.prog.slot(0))
 		return top.list(mask)
 	}
-	return runJoinSharded(cor, mask, opt, side, shards, instA, instB)
+	return runJoinSharded(mask, opt, side, shards, ids, useFlat)
 }
 
 // runJoinSharded fans one config's probe out over a bounded worker pool:
@@ -234,7 +228,7 @@ func runJoin(cor *Corpus, mask config.Mask, opt runOpts) TopKList {
 // insert path uses. Because every shard is exact on its (disjoint) slice
 // of the pair space, the merged list is the exact global top-k — bytes
 // identical to the serial join for every worker and shard count.
-func runJoinSharded(cor *Corpus, mask config.Mask, opt runOpts, side int8, shards int, instA, instB [][]int64) TopKList {
+func runJoinSharded(mask config.Mask, opt runOpts, side int8, shards int, ids denseInstances, useFlat bool) TopKList {
 	rs := opt.stats
 	seeds := opt.seeds
 	// Fold an already-delivered parent list into the seeds. Later
@@ -275,7 +269,7 @@ func runJoinSharded(cor *Corpus, mask config.Mask, opt runOpts, side int8, shard
 					telemetry.L("shard", strconv.Itoa(s)),
 					telemetry.L("shards", strconv.Itoa(shards)))
 				view := shardView{side: side, shard: s, shards: shards}
-				heaps[s] = joinShard(cor, mask, opt, view, instA, instB,
+				heaps[s] = joinShard(opt, view, ids, useFlat,
 					srs, opt.score(srs), seedsFor[s], nil, ssp, opt.prog.slot(s))
 				ssp.End()
 			}
@@ -342,238 +336,19 @@ func mergeTopK(k int, lists ...[]ScoredPair) *topkHeap {
 	return top
 }
 
-// joinShard is the probe core shared by the serial and sharded paths: the
-// prefix-event loop of Section 4.1 restricted to the records the view
-// owns. Only event seeding consults the view — a record the shard does
-// not own never enters the event heap, so its instances never reach the
-// shard's inverted index and the shard only ever touches pairs whose
-// sharded-side record it owns.
-//
-// Every prune in this loop is strict (bound < k-th score). A bound equal
-// to the k-th score must survive: the pair behind it could tie the
-// boundary score and win the (idA, idB) tie-break, and pruning it is
-// exactly the schedule-dependent tie-flip the old Workers caveat
-// documented. With strict prunes the shard's heap is the exact top-k of
-// its pair subspace under the total order, which is what the shard merge
-// and the differential suite rely on.
-func joinShard(cor *Corpus, mask config.Mask, opt runOpts, view shardView,
-	instA, instB [][]int64, rs *runStats, score scorer,
-	seeds []ScoredPair, mergeCh <-chan []ScoredPair, span *telemetry.TraceSpan,
+// joinShard dispatches one shard's exact probe to a kernel: the
+// flat-arena kernel (join_flat.go) whenever the dense pair-state table
+// fits the memory budget, the map kernel (join_legacy.go) otherwise.
+// Both are exact on the shard's (disjoint) slice of the pair space and
+// mirror each other's counter stream, so the choice is invisible in the
+// output — a property the differential harness enforces by forcing each
+// side of the seam in turn.
+func joinShard(opt runOpts, view shardView, ids denseInstances, useFlat bool,
+	rs *runStats, score scorer, seeds []ScoredPair,
+	mergeCh <-chan []ScoredPair, span *telemetry.TraceSpan,
 	pc *shardCounters) *topkHeap {
-
-	cur := progCursor{slot: pc}
-	nA, nB := len(cor.recsA), len(cor.recsB)
-	posA := make([]int32, nA)
-	posB := make([]int32, nB)
-
-	top := newTopkHeap(opt.k)
-	pairs := make(map[int64]int32)
-	index := make(map[int64]*postings)
-
-	admit := func(key int64, a, b int32) {
-		pairs[key] = pairScored
-		top.offer(ScoredPair{A: a, B: b, Score: score(a, b)})
+	if useFlat {
+		return joinShardFlat(opt, view, ids, rs, score, seeds, mergeCh, span, pc)
 	}
-	// absorb folds a parent config's top-k pairs into this run, rescoring
-	// each pair under this config (scores do not transfer across configs;
-	// the scorer answers from the parent's overlap DB when reuse is on).
-	absorb := func(list []ScoredPair) {
-		if len(list) > 0 {
-			span.Event("absorb", telemetry.L("pairs", strconv.Itoa(len(list))))
-		}
-		for _, p := range list {
-			key := pairKey(p.A, p.B)
-			st, seen := pairs[key]
-			if !seen && opt.c.Contains(int(p.A), int(p.B)) {
-				pairs[key] = pairSuppressed
-				continue
-			}
-			if st == pairScored || st == pairSuppressed {
-				continue
-			}
-			admit(key, p.A, p.B)
-		}
-	}
-	absorb(seeds)
-
-	var events eventHeap
-	push := func(side int8, rec int32) {
-		var pos int32
-		var l int
-		if side == 0 {
-			pos, l = posA[rec], len(instA[rec])
-		} else {
-			pos, l = posB[rec], len(instB[rec])
-		}
-		if int(pos) >= l {
-			return
-		}
-		cap := opt.m.ExtendCap(int(pos), l)
-		if top.full() && cap < top.kthScore() {
-			rs.pruneKills++
-			rs.killsPushCap++
-			// The record's remaining tail dies with the kill: it is never
-			// re-pushed, so those instances are accounted as skipped.
-			rs.probesSkipped += int64(l - int(pos))
-			return // this string can never produce a new top-k pair
-		}
-		events.push(event{cap: cap, side: side, rec: rec})
-	}
-	idxSpan := span.Child("ssjoin.index")
-	var ownedInstances int64
-	for i := int32(0); i < int32(nA); i++ {
-		if view.owns(0, i) {
-			ownedInstances += int64(len(instA[i]))
-			push(0, i)
-		}
-	}
-	for i := int32(0); i < int32(nB); i++ {
-		if view.owns(1, i) {
-			ownedInstances += int64(len(instB[i]))
-			push(1, i)
-		}
-	}
-	if pc != nil {
-		pc.probesTotal.Add(ownedInstances)
-	}
-	idxSpan.SetAttrInt("events_seeded", int64(events.Len()))
-	idxSpan.End()
-
-	touch := func(a, b int32) {
-		key := pairKey(a, b)
-		st, seen := pairs[key]
-		if !seen && opt.c.Contains(int(a), int(b)) {
-			pairs[key] = pairSuppressed
-			rs.suppressedPairs++
-			return
-		}
-		if st < 0 {
-			return
-		}
-		st++
-		if int(st) >= opt.q {
-			admit(key, a, b)
-			return
-		}
-		pairs[key] = st
-	}
-
-	probeSpan := span.Child("ssjoin.probe")
-	steps := 0
-	for events.Len() > 0 {
-		if steps++; steps&1023 == 0 {
-			// Progress sampling rides the loop's existing stride
-			// checkpoint: one delta flush per progressStride pops.
-			cur.flush(rs, events.Len(), top.Len())
-			if opt.cancel != nil && opt.cancel.Load() {
-				probeSpan.Event("cancelled")
-				probeSpan.End()
-				cur.flush(rs, events.Len(), top.Len())
-				return top
-			}
-			if mergeCh != nil {
-				select {
-				case list := <-mergeCh:
-					absorb(list)
-				default:
-				}
-			}
-		}
-		ev := events.items[0]
-		if top.full() && ev.cap < top.kthScore() {
-			rs.pruneKills += int64(events.Len())
-			rs.killsLoopBreak += int64(events.Len())
-			// Every record still in the heap dies here; account its
-			// unpopped tail so done+skipped still converges to the
-			// owned-instance total. One pass over the heap, once per shard.
-			for _, dead := range events.items {
-				if dead.side == 0 {
-					rs.probesSkipped += int64(len(instA[dead.rec]) - int(posA[dead.rec]))
-				} else {
-					rs.probesSkipped += int64(len(instB[dead.rec]) - int(posB[dead.rec]))
-				}
-			}
-			break
-		}
-		events.pop()
-		rs.prefixEvents++
-		var inst int64
-		if ev.side == 0 {
-			inst = instA[ev.rec][posA[ev.rec]]
-			posA[ev.rec]++
-		} else {
-			inst = instB[ev.rec][posB[ev.rec]]
-			posB[ev.rec]++
-		}
-		p := index[inst]
-		if p == nil {
-			p = &postings{}
-			index[inst] = p
-		}
-		if ev.side == 0 {
-			for _, rb := range p.b {
-				touch(ev.rec, rb)
-			}
-			p.a = append(p.a, ev.rec)
-		} else {
-			for _, ra := range p.a {
-				touch(ra, ev.rec)
-			}
-			p.b = append(p.b, ev.rec)
-		}
-		push(ev.side, ev.rec)
-	}
-	probeSpan.SetAttrInt("prefix_events", rs.prefixEvents)
-	probeSpan.SetAttrInt("prune_kills", rs.pruneKills)
-	probeSpan.End()
-
-	// Drain any merge list that arrived after the loop ended.
-	if mergeCh != nil {
-		select {
-		case list := <-mergeCh:
-			absorb(list)
-		default:
-		}
-	}
-
-	// Flush: pending pairs (seen < q common instances) may still belong
-	// in the top-k; score those whose optimistic bound ties or beats the
-	// k-th score. Every uncounted common instance lies beyond at least one
-	// final prefix, so overlap <= count + (lx-px) + (ly-py). The pending
-	// keys are sorted first: map iteration order is randomized, and the
-	// k-th score rises as flushed pairs are admitted, so a deterministic
-	// visit order is what makes reruns reproduce the same counters (the
-	// list itself is order-independent by the total-order retention).
-	topkSpan := span.Child("ssjoin.topk")
-	pending := make([]int64, 0, len(pairs))
-	for key, st := range pairs {
-		if st > 0 {
-			pending = append(pending, key)
-		}
-	}
-	slices.Sort(pending)
-	for _, key := range pending {
-		st := pairs[key]
-		rs.deferredPairs++
-		a := int32(key >> 32)
-		b := int32(uint32(key))
-		lx, ly := len(instA[a]), len(instB[b])
-		oMax := int(st) + (lx - int(posA[a])) + (ly - int(posB[b]))
-		if m := min(lx, ly); oMax > m {
-			oMax = m
-		}
-		if top.full() && opt.m.FromOverlap(oMax, lx, ly) < top.kthScore() {
-			rs.killsFlushBound++
-			continue
-		}
-		rs.flushedPairs++
-		admit(key, a, b)
-	}
-	topkSpan.SetAttrInt("deferred_pairs", rs.deferredPairs)
-	topkSpan.SetAttrInt("flushed_pairs", rs.flushedPairs)
-	topkSpan.End()
-	// Terminal flush: publish the final counters and zero the live heap
-	// gauge (the shard is done; residual dead events are not a live heap).
-	cur.flush(rs, 0, top.Len())
-	return top
+	return joinShardLegacy(opt, view, ids, rs, score, seeds, mergeCh, span, pc)
 }

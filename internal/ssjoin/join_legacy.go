@@ -1,0 +1,321 @@
+package ssjoin
+
+// The map-based probe kernel: the original QJoin probe core, kept as
+// the flat-memory fallback for pair spaces too large for the dense
+// state table (|sharded side| × |other side| > denseStateLimit — the
+// paper's W-A-scale workloads) and as the differential seam the test
+// harness flips to prove the flat-arena kernel in join_flat.go computes
+// the identical pure function. The two kernels must stay mirror images:
+// same counter increment order, same strict prunes (including the
+// ShallowBlocker length/positional-prefix filters — see
+// flatProbe.touch for the soundness argument), same deterministic
+// flush visit order. Canonical reports embed the runStats counters, so
+// any divergence is a byte diff in the differential suite.
+
+import (
+	"slices"
+	"strconv"
+
+	"matchcatcher/internal/telemetry"
+)
+
+// postings is one token instance's inverted-index entry in the map
+// kernel: the records whose popped prefixes contain the instance, in
+// pop order, each with the prefix position it popped at (feeding the
+// positional prefix filter, mirroring the arena's postEntry slabs).
+type postings struct {
+	a, b []postEntry
+}
+
+// joinShardLegacy is the probe core shared by the serial and sharded
+// paths: the prefix-event loop of Section 4.1 restricted to the records
+// the view owns. Only event seeding consults the view — a record the
+// shard does not own never enters the event heap, so its instances
+// never reach the shard's inverted index and the shard only ever
+// touches pairs whose sharded-side record it owns.
+//
+// Every prune in this loop is strict (bound < k-th score). A bound equal
+// to the k-th score must survive: the pair behind it could tie the
+// boundary score and win the (idA, idB) tie-break, and pruning it is
+// exactly the schedule-dependent tie-flip the old Workers caveat
+// documented. With strict prunes the shard's heap is the exact top-k of
+// its pair subspace under the total order, which is what the shard merge
+// and the differential suite rely on.
+func joinShardLegacy(opt runOpts, view shardView, ids denseInstances,
+	rs *runStats, score scorer, seeds []ScoredPair,
+	mergeCh <-chan []ScoredPair, span *telemetry.TraceSpan,
+	pc *shardCounters) *topkHeap {
+
+	cur := progCursor{slot: pc}
+	instA, instB := ids.a, ids.b
+	nA, nB := len(instA), len(instB)
+	posA := make([]int32, nA)
+	posB := make([]int32, nB)
+
+	// Normalized shard geometry, shared with the flat kernel: serial
+	// probes are "side A dealt to one shard" so the flush visit order
+	// below has a single definition.
+	side := int8(0)
+	if view.shards > 1 {
+		side = view.side
+	}
+
+	top := newTopkHeap(opt.k)
+	pairs := make(map[int64]int32)
+	index := make(map[int32]*postings)
+
+	admit := func(key int64, a, b int32) {
+		pairs[key] = pairScored
+		top.offer(ScoredPair{A: a, B: b, Score: score(a, b)})
+	}
+	// absorb folds a parent config's top-k pairs into this run, rescoring
+	// each pair under this config (scores do not transfer across configs;
+	// the scorer answers from the parent's overlap DB when reuse is on).
+	absorb := func(list []ScoredPair) {
+		if len(list) > 0 {
+			span.Event("absorb", telemetry.L("pairs", strconv.Itoa(len(list))))
+		}
+		for _, p := range list {
+			key := pairKey(p.A, p.B)
+			st, seen := pairs[key]
+			if !seen && opt.c.Contains(int(p.A), int(p.B)) {
+				pairs[key] = pairSuppressed
+				continue
+			}
+			if st < 0 {
+				continue
+			}
+			admit(key, p.A, p.B)
+		}
+	}
+	absorb(seeds)
+
+	var events eventHeap
+	push := func(side int8, rec int32) {
+		var pos int32
+		var l int
+		if side == 0 {
+			pos, l = posA[rec], len(instA[rec])
+		} else {
+			pos, l = posB[rec], len(instB[rec])
+		}
+		if int(pos) >= l {
+			return
+		}
+		cap := opt.m.ExtendCap(int(pos), l)
+		if top.full() && cap < top.kthScore() {
+			rs.pruneKills++
+			rs.killsPushCap++
+			// The record's remaining tail dies with the kill: it is never
+			// re-pushed, so those instances are accounted as skipped.
+			rs.probesSkipped += int64(l - int(pos))
+			return // this string can never produce a new top-k pair
+		}
+		events.push(event{cap: cap, side: side, rec: rec})
+	}
+	idxSpan := span.Child("ssjoin.index")
+	var ownedInstances int64
+	for i := int32(0); i < int32(nA); i++ {
+		if view.owns(0, i) {
+			ownedInstances += int64(len(instA[i]))
+			push(0, i)
+		}
+	}
+	for i := int32(0); i < int32(nB); i++ {
+		if view.owns(1, i) {
+			ownedInstances += int64(len(instB[i]))
+			push(1, i)
+		}
+	}
+	if pc != nil {
+		pc.probesTotal.Add(ownedInstances)
+	}
+	idxSpan.SetAttrInt("events_seeded", int64(events.Len()))
+	idxSpan.End()
+
+	// touch advances pair (a, b) by one common instance met at prefix
+	// positions (pa, pb); first touch runs the C suppression and the two
+	// strict pair filters, exactly as flatProbe.touch does.
+	touch := func(a, b, pa, pb int32) {
+		key := pairKey(a, b)
+		st, seen := pairs[key]
+		if !seen {
+			if opt.c.Contains(int(a), int(b)) {
+				pairs[key] = pairSuppressed
+				rs.suppressedPairs++
+				return
+			}
+			if top.full() {
+				lx, ly := len(instA[a]), len(instB[b])
+				kth := top.kthScore()
+				mo := min(lx, ly)
+				if opt.m.FromOverlap(mo, lx, ly) < kth {
+					pairs[key] = pairKilled
+					rs.killsLengthFilter++
+					if filterKillHook != nil {
+						filterKillHook(a, b, tierLengthFilter)
+					}
+					return
+				}
+				if rem := 1 + min(lx-int(pa)-1, ly-int(pb)-1); rem < mo {
+					if opt.m.FromOverlap(rem, lx, ly) < kth {
+						pairs[key] = pairKilled
+						rs.killsPrefixPos++
+						if filterKillHook != nil {
+							filterKillHook(a, b, tierPrefixPos)
+						}
+						return
+					}
+				}
+			}
+		} else if st < 0 {
+			return
+		}
+		st++
+		if int(st) >= opt.q {
+			admit(key, a, b)
+			return
+		}
+		pairs[key] = st
+	}
+
+	probeSpan := span.Child("ssjoin.probe")
+	steps := 0
+	for events.Len() > 0 {
+		if steps++; steps&1023 == 0 {
+			// Progress sampling rides the loop's existing stride
+			// checkpoint: one delta flush per progressStride pops.
+			cur.flush(rs, events.Len(), top.Len())
+			if opt.cancel != nil && opt.cancel.Load() {
+				probeSpan.Event("cancelled")
+				probeSpan.End()
+				cur.flush(rs, events.Len(), top.Len())
+				return top
+			}
+			if mergeCh != nil {
+				select {
+				case list := <-mergeCh:
+					absorb(list)
+				default:
+				}
+			}
+		}
+		ev := events.items[0]
+		if top.full() && ev.cap < top.kthScore() {
+			rs.pruneKills += int64(events.Len())
+			rs.killsLoopBreak += int64(events.Len())
+			// Every record still in the heap dies here; account its
+			// unpopped tail so done+skipped still converges to the
+			// owned-instance total. One pass over the heap, once per shard.
+			for _, dead := range events.items {
+				if dead.side == 0 {
+					rs.probesSkipped += int64(len(instA[dead.rec]) - int(posA[dead.rec]))
+				} else {
+					rs.probesSkipped += int64(len(instB[dead.rec]) - int(posB[dead.rec]))
+				}
+			}
+			break
+		}
+		events.pop()
+		rs.prefixEvents++
+		if ev.side == 0 {
+			pos := posA[ev.rec]
+			inst := instA[ev.rec][pos]
+			posA[ev.rec] = pos + 1
+			p := index[inst]
+			if p == nil {
+				p = &postings{}
+				index[inst] = p
+			}
+			for _, pe := range p.b {
+				touch(ev.rec, pe.rec, pos, pe.pos)
+			}
+			p.a = append(p.a, postEntry{rec: ev.rec, pos: pos})
+		} else {
+			pos := posB[ev.rec]
+			inst := instB[ev.rec][pos]
+			posB[ev.rec] = pos + 1
+			p := index[inst]
+			if p == nil {
+				p = &postings{}
+				index[inst] = p
+			}
+			for _, pe := range p.a {
+				touch(pe.rec, ev.rec, pe.pos, pos)
+			}
+			p.b = append(p.b, postEntry{rec: ev.rec, pos: pos})
+		}
+		push(ev.side, ev.rec)
+	}
+	probeSpan.SetAttrInt("prefix_events", rs.prefixEvents)
+	probeSpan.SetAttrInt("prune_kills", rs.pruneKills)
+	probeSpan.End()
+
+	// Drain any merge list that arrived after the loop ended.
+	if mergeCh != nil {
+		select {
+		case list := <-mergeCh:
+			absorb(list)
+		default:
+		}
+	}
+
+	// Flush: pending pairs (seen < q common instances) may still belong
+	// in the top-k; score those whose optimistic bound ties or beats the
+	// k-th score. Every uncounted common instance lies beyond at least one
+	// final prefix, so overlap <= count + (lx-px) + (ly-py). The pending
+	// keys are sorted first: map iteration order is randomized, and the
+	// k-th score rises as flushed pairs are admitted, so a deterministic
+	// visit order is what makes reruns reproduce the same counters (the
+	// list itself is order-independent by the total-order retention).
+	// The order is (owned sharded-side record asc, other record asc) —
+	// the flat kernel's storage-scan order — so the two kernels' counter
+	// streams match byte for byte. For side A that is plain key order;
+	// for a B-sharded probe the key halves swap.
+	topkSpan := span.Child("ssjoin.topk")
+	pending := make([]int64, 0, len(pairs))
+	for key, st := range pairs {
+		if st > 0 {
+			pending = append(pending, key)
+		}
+	}
+	if side == 1 {
+		slices.SortFunc(pending, func(x, y int64) int {
+			xs := int64(uint32(x))<<32 | x>>32
+			ys := int64(uint32(y))<<32 | y>>32
+			if xs < ys {
+				return -1
+			}
+			if xs > ys {
+				return 1
+			}
+			return 0
+		})
+	} else {
+		slices.Sort(pending)
+	}
+	for _, key := range pending {
+		st := pairs[key]
+		rs.deferredPairs++
+		a := int32(key >> 32)
+		b := int32(uint32(key))
+		lx, ly := len(instA[a]), len(instB[b])
+		oMax := int(st) + (lx - int(posA[a])) + (ly - int(posB[b]))
+		if m := min(lx, ly); oMax > m {
+			oMax = m
+		}
+		if top.full() && opt.m.FromOverlap(oMax, lx, ly) < top.kthScore() {
+			rs.killsFlushBound++
+			continue
+		}
+		rs.flushedPairs++
+		admit(key, a, b)
+	}
+	topkSpan.SetAttrInt("deferred_pairs", rs.deferredPairs)
+	topkSpan.SetAttrInt("flushed_pairs", rs.flushedPairs)
+	topkSpan.End()
+	// Terminal flush: publish the final counters and zero the live heap
+	// gauge (the shard is done; residual dead events are not a live heap).
+	cur.flush(rs, 0, top.Len())
+	return top
+}

@@ -125,6 +125,12 @@ type Stats struct {
 	PruneKillsPushCap    int64
 	PruneKillsLoopBreak  int64
 	PruneKillsFlushBound int64
+	// ShallowBlocker-style strict pair filters (first-touch kills; see
+	// the "Flat-arena join kernel" DESIGN.md section). Like
+	// PruneKillsFlushBound these count pairs, not prefix extensions, so
+	// they are not part of the PruneKills grand total.
+	PruneKillsLengthFilter int64
+	PruneKillsPrefixPos    int64
 	// SkippedInstances counts token instances pruning wrote off unpopped
 	// (the complement of PrefixEvents in the progress accounting).
 	SkippedInstances int64

@@ -37,6 +37,13 @@ type runStats struct {
 	probesSkipped   int64 // token instances a prune wrote off unpopped
 	progressSamples int64 // progress flushes taken at the stride checkpoint
 
+	// ShallowBlocker-style strict pair filters (first touch only; see
+	// flatProbe.touch). Like killsFlushBound, these skip scoring work on
+	// pairs, not prefix extensions, so they are separate tiers and not
+	// part of the pruneKills grand total.
+	killsLengthFilter int64 // length filter: min(lx,ly) overlap can't reach k-th
+	killsPrefixPos    int64 // positional prefix filter: remaining overlap can't reach k-th
+
 	// Per-config shard-skew summary, set by runJoinSharded after the
 	// shard pool joins (never set on shard-level blocks, so fold must not
 	// sum it): work units are popped prefix events per shard.
@@ -66,6 +73,8 @@ func (rs *runStats) fold(s *runStats) {
 	rs.killsFlushBound += s.killsFlushBound
 	rs.probesSkipped += s.probesSkipped
 	rs.progressSamples += s.progressSamples
+	rs.killsLengthFilter += s.killsLengthFilter
+	rs.killsPrefixPos += s.killsPrefixPos
 }
 
 // sink holds the resolved telemetry instruments for one executor run.
@@ -86,10 +95,12 @@ type sink struct {
 	// "Join progress & skew observability"). The tier label is the
 	// bounded three-value prune vocabulary; skew gauges report the most
 	// recently finished sharded config's work distribution.
-	killsPushCap    *telemetry.Counter
-	killsLoopBreak  *telemetry.Counter
-	killsFlushBound *telemetry.Counter
-	probesSkipped   *telemetry.Counter
+	killsPushCap      *telemetry.Counter
+	killsLoopBreak    *telemetry.Counter
+	killsFlushBound   *telemetry.Counter
+	killsLengthFilter *telemetry.Counter
+	killsPrefixPos    *telemetry.Counter
+	probesSkipped     *telemetry.Counter
 	progressSamples *telemetry.Counter
 	skewConfigs     *telemetry.Counter
 	skewWorkMin     *telemetry.Gauge
@@ -114,9 +125,11 @@ func newSink(reg *telemetry.Registry) *sink {
 		shardMergePairs: reg.Counter("mc_ssjoin_shard_merge_pairs_total"),
 		configJoins:     reg.Counter("mc_ssjoin_config_joins_total"),
 		joinSeconds:     reg.Histogram("mc_ssjoin_join_seconds"),
-		killsPushCap:    reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "push_cap")),
-		killsLoopBreak:  reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "loop_break")),
-		killsFlushBound: reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "flush_bound")),
+		killsPushCap:      reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "push_cap")),
+		killsLoopBreak:    reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "loop_break")),
+		killsFlushBound:   reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "flush_bound")),
+		killsLengthFilter: reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "length_filter")),
+		killsPrefixPos:    reg.Counter("mc_ssjoin_progress_prune_kills_total", telemetry.L("tier", "prefix_pos")),
 		probesSkipped:   reg.Counter("mc_ssjoin_progress_skipped_instances_total"),
 		progressSamples: reg.Counter("mc_ssjoin_progress_samples_total"),
 		skewConfigs:     reg.Counter("mc_ssjoin_shard_skew_configs_total"),
@@ -144,6 +157,8 @@ func (s *sink) record(rs *runStats, dur time.Duration) {
 	s.killsPushCap.Add(rs.killsPushCap)
 	s.killsLoopBreak.Add(rs.killsLoopBreak)
 	s.killsFlushBound.Add(rs.killsFlushBound)
+	s.killsLengthFilter.Add(rs.killsLengthFilter)
+	s.killsPrefixPos.Add(rs.killsPrefixPos)
 	s.probesSkipped.Add(rs.probesSkipped)
 	s.progressSamples.Add(rs.progressSamples)
 	if rs.shardImbalance > 0 {
@@ -178,6 +193,8 @@ func (st *Stats) add(rs *runStats) {
 	atomic.AddInt64(&st.PruneKillsPushCap, rs.killsPushCap)
 	atomic.AddInt64(&st.PruneKillsLoopBreak, rs.killsLoopBreak)
 	atomic.AddInt64(&st.PruneKillsFlushBound, rs.killsFlushBound)
+	atomic.AddInt64(&st.PruneKillsLengthFilter, rs.killsLengthFilter)
+	atomic.AddInt64(&st.PruneKillsPrefixPos, rs.killsPrefixPos)
 	atomic.AddInt64(&st.SkippedInstances, rs.probesSkipped)
 }
 

@@ -56,9 +56,11 @@ type shardCounters struct {
 	probesDone      atomic.Int64 // prefix events popped off the event heap
 	probesSkipped   atomic.Int64 // instances written off by pruning
 	probesTotal     atomic.Int64 // instances owned (set once per config at seeding)
-	killsPushCap    atomic.Int64 // prune tier a: extension cap < k-th at push
-	killsLoopBreak  atomic.Int64 // prune tier b: root cap < k-th ends the loop
-	killsFlushBound atomic.Int64 // prune tier c: deferred pair's bound < k-th at flush
+	killsPushCap      atomic.Int64 // prune tier a: extension cap < k-th at push
+	killsLoopBreak    atomic.Int64 // prune tier b: root cap < k-th ends the loop
+	killsFlushBound   atomic.Int64 // prune tier c: deferred pair's bound < k-th at flush
+	killsLengthFilter atomic.Int64 // pair filter: length bound < k-th at first touch
+	killsPrefixPos    atomic.Int64 // pair filter: positional prefix bound < k-th at first touch
 	mergeOffers     atomic.Int64 // shard-heap pairs offered to the top-k merge
 	heapLive        atomic.Int64 // event-heap size at the last sample
 	topkLive        atomic.Int64 // top-k heap size at the last sample
@@ -126,12 +128,14 @@ func (p *Progress) slot(shard int) *shardCounters {
 // counters, so each stride flush publishes only the delta. It lives on
 // joinShard's stack; a nil slot turns every flush into a nil check.
 type progCursor struct {
-	slot            *shardCounters
-	probesDone      int64
-	probesSkipped   int64
-	killsPushCap    int64
-	killsLoopBreak  int64
-	killsFlushBound int64
+	slot              *shardCounters
+	probesDone        int64
+	probesSkipped     int64
+	killsPushCap      int64
+	killsLoopBreak    int64
+	killsFlushBound   int64
+	killsLengthFilter int64
+	killsPrefixPos    int64
 }
 
 // flush publishes the counters accumulated since the previous flush,
@@ -162,6 +166,14 @@ func (c *progCursor) flush(rs *runStats, heapLive, topkLive int) {
 	if d := rs.killsFlushBound - c.killsFlushBound; d != 0 {
 		c.slot.killsFlushBound.Add(d)
 		c.killsFlushBound = rs.killsFlushBound
+	}
+	if d := rs.killsLengthFilter - c.killsLengthFilter; d != 0 {
+		c.slot.killsLengthFilter.Add(d)
+		c.killsLengthFilter = rs.killsLengthFilter
+	}
+	if d := rs.killsPrefixPos - c.killsPrefixPos; d != 0 {
+		c.slot.killsPrefixPos.Add(d)
+		c.killsPrefixPos = rs.killsPrefixPos
 	}
 	c.slot.heapLive.Store(int64(heapLive))
 	c.slot.topkLive.Store(int64(topkLive))
@@ -212,6 +224,11 @@ type ProgressSnapshot struct {
 	PruneKillPushCap    int64 `json:"prune_kill_push_cap"`
 	PruneKillLoopBreak  int64 `json:"prune_kill_loop_break"`
 	PruneKillFlushBound int64 `json:"prune_kill_flush_bound"`
+	// The strict pair-filter tiers (length_filter / prefix_pos in the
+	// telemetry tier vocabulary): pairs whose score bound at first touch
+	// proved they can never reach the running top-k.
+	PruneKillLengthFilter int64 `json:"prune_kill_length_filter"`
+	PruneKillPrefixPos    int64 `json:"prune_kill_prefix_pos"`
 	MergeOffers         int64 `json:"merge_offers"`
 	EventHeapLive       int64 `json:"event_heap_live"`
 	TopKLive            int64 `json:"topk_live"`
@@ -259,6 +276,8 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		snap.PruneKillPushCap += c.killsPushCap.Load()
 		snap.PruneKillLoopBreak += c.killsLoopBreak.Load()
 		snap.PruneKillFlushBound += c.killsFlushBound.Load()
+		snap.PruneKillLengthFilter += c.killsLengthFilter.Load()
+		snap.PruneKillPrefixPos += c.killsPrefixPos.Load()
 		snap.MergeOffers += c.mergeOffers.Load()
 		snap.EventHeapLive += c.heapLive.Load()
 		snap.TopKLive += c.topkLive.Load()
